@@ -1,0 +1,19 @@
+"""The paper's motivation, quantified: collisions -> retransmissions ->
+battery drain, and what joint decoding buys back."""
+
+from repro.experiments import format_table
+from repro.experiments.battery import run_battery
+
+
+def test_battery_drain(once):
+    table = once(run_battery, rounds=2)
+    print()
+    print(format_table(table))
+    rows = {row[0]: row for row in table.rows}
+    sic, galiot = rows["sic"], rows["galiot"]
+    # GalioT delivers at least as many frames from the same traffic...
+    assert galiot[1] >= sic[1]
+    # ...with no more transmissions per delivery...
+    assert galiot[3] <= sic[3] + 1e-9
+    # ...and spends no more energy per delivered bit.
+    assert galiot[4] <= sic[4] + 1e-9

@@ -1,0 +1,19 @@
+"""Ablation — Shannon feasibility vs measured joint decoding (Sec. 5)."""
+
+from repro.experiments import format_table, run_boundary
+
+
+def test_shannon_boundary(once):
+    table = once(run_boundary, trials=3)
+    print()
+    print(format_table(table))
+    rows = {row[0]: row for row in table.rows}
+    # Below the Shannon wall the decoder must recover (almost) nothing.
+    for snr, row in rows.items():
+        _snr, feasible, _margin, decoded, total = row
+        if feasible == "no":
+            assert decoded <= total * 0.2, row
+    # Comfortably above the wall, joint decoding succeeds mostly.
+    top = max(rows)
+    assert rows[top][1] == "yes"
+    assert rows[top][3] >= rows[top][4] * 0.6

@@ -1,0 +1,17 @@
+"""Ablation — Sec. 6 backhaul question: compute, compress or ship?"""
+
+from repro.experiments import format_table, run_compression
+
+
+def test_backhaul_strategies(once):
+    table = once(run_compression)
+    print()
+    print(format_table(table))
+    strategies = {row[0]: row[1] for row in table.rows}
+    raw = strategies["ship raw stream"]
+    shipped = strategies["detect-and-ship (2x max frame)"]
+    compressed = strategies["detect + requantize + zlib"]
+    # Detect-and-ship must beat raw streaming on duty-cycled traffic,
+    # and entropy coding must not cost anything.
+    assert shipped < raw
+    assert compressed <= shipped

@@ -1,0 +1,15 @@
+"""Ablation — Sec. 4 edge-vs-cloud split of detected segments."""
+
+from repro.experiments import format_table, run_edge_cloud
+
+
+def test_edge_cloud_split(once):
+    table = once(run_edge_cloud, rounds=2)
+    print()
+    print(format_table(table))
+    segments, edge_only, shipped, edge_frames = table.rows[0]
+    assert segments >= 2
+    assert edge_only + shipped == segments
+    # Clean single-technology segments resolve locally; collisions ship.
+    assert edge_frames >= 1
+    assert shipped >= 1

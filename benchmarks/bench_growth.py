@@ -1,0 +1,19 @@
+"""Universal-preamble growth — the Sec. 7 future-work question."""
+
+from repro.experiments.growth import run_universal_growth
+from repro.experiments import format_table
+
+
+def test_universal_growth(once):
+    table = once(run_universal_growth, trials=2)
+    print()
+    print(format_table(table))
+    rows = {row[0]: row for row in table.rows}
+    # The trio's packets are all detectable while only the trio is
+    # registered...
+    assert rows[3][2] >= rows[3][3] - 1
+    # ...and adding unrelated technologies never *increases* detection
+    # of the same traffic.
+    assert rows[6][2] <= rows[3][2]
+    # Groups grow with the registry (no spurious coalescing).
+    assert rows[6][1] > rows[3][1]

@@ -1,0 +1,24 @@
+"""Ablation — detector cost vs number of registered technologies.
+
+The Sec.-4 scalability argument: the universal preamble needs ONE
+correlation per capture no matter how many technologies are registered;
+the optimal bank needs one per technology.
+"""
+
+from repro.experiments import format_table, run_scaling
+
+
+def test_detector_scaling(once):
+    table = once(run_scaling, repeats=2)
+    print()
+    print(format_table(table))
+    for row in table.rows:
+        n, uni_corr, bank_corr, _uni_ms, _bank_ms = row
+        assert uni_corr == 1
+        assert bank_corr == n
+    # Wall-clock: the bank's cost grows with n; universal's does not
+    # grow linearly (compare largest vs smallest bank).
+    first = table.rows[0]
+    last = table.rows[-1]
+    assert last[4] > 1.5 * first[4]          # bank time grew
+    assert last[3] < 2.5 * max(first[3], 1e-3)  # universal roughly flat

@@ -1,0 +1,52 @@
+"""Parameter-sweep ablations: ROC, codec depth, collision overlap."""
+
+from repro.experiments import (
+    format_table,
+    run_compression_depth,
+    run_overlap,
+    run_roc,
+)
+
+
+def test_detection_roc(once):
+    table = once(run_roc, trials=2)
+    print()
+    print(format_table(table))
+    rows = {row[0]: row for row in table.rows}
+    loosest = rows[min(rows)]
+    strictest = rows[max(rows)]
+    # Lower k detects at least as much but pays in false alarms;
+    # the strict end is (near) false-alarm free.
+    assert loosest[1] >= strictest[1]
+    assert strictest[3] <= loosest[3]
+    assert strictest[3] <= 1
+
+
+def test_compression_depth(once):
+    table = once(run_compression_depth, trials=2)
+    print()
+    print(format_table(table))
+    rows = {row[0]: row for row in table.rows}
+    # 8-bit and 5-bit decode everything; bits shrink monotonically.
+    assert rows[8][3] == rows[8][4]
+    assert rows[5][3] >= rows[5][4] - 1
+    assert rows[4][1] < rows[8][1]
+    # At some depth the decode success finally degrades vs 8-bit.
+    assert rows[2][3] <= rows[8][3]
+
+
+def test_collision_overlap(once):
+    table = once(run_overlap, trials=3)
+    print()
+    print(format_table(table))
+    by_overlap = {row[0]: row for row in table.rows}
+    # No overlap: GalioT decodes everything; strict SIC may still drop a
+    # frame (it stops at the first failure even for disjoint packets in
+    # one segment — part of why it is the strawman).
+    assert by_overlap[0.0][2] == by_overlap[0.0][3]
+    assert by_overlap[0.0][1] >= by_overlap[0.0][3] - 2
+    # Full overlap (the paper's case): GalioT >= SIC.
+    assert by_overlap[1.0][2] >= by_overlap[1.0][1]
+    # GalioT never loses to SIC at any overlap.
+    for row in table.rows:
+        assert row[2] >= row[1], row

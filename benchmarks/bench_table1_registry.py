@@ -1,0 +1,15 @@
+"""T1 — regenerate Table 1 from the technology registry."""
+
+from repro.experiments import format_table, run_table1
+
+
+def test_table1(once):
+    table = once(run_table1)
+    print()
+    print(format_table(table))
+    # Shape assertions: the paper's rows, in order.
+    technologies = [row[0] for row in table.rows]
+    assert technologies[:4] == ["LoRa", "Z-Wave", "XBee", "BLE"]
+    assert len(table.rows) == 11
+    implemented = [row for row in table.rows if row[4] == "yes"]
+    assert len(implemented) >= 8

@@ -1,0 +1,21 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the paper-vs-measured rows. Experiment bodies are expensive
+Monte-Carlos, so each runs exactly once per benchmark
+(``benchmark.pedantic(rounds=1, iterations=1)``) — the timing recorded
+is the cost of regenerating the artifact, and the printed table is the
+scientific output.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run ``fn`` exactly once under the benchmark timer."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Extensibility demo: add a technology with a "software update".
+
+The paper's core economic argument: a commercial multi-technology
+gateway adds radio support with new *hardware* NIC modules; GalioT adds
+it by registering one more modem. This script starts a gateway on the
+prototype trio, then "updates" it to also hear SigFox — and shows both
+that the new technology is detected/decoded and that detection cost did
+not grow (still one universal-preamble correlation).
+
+Run:  python examples/add_a_technology.py
+"""
+
+import numpy as np
+
+from repro.cloud import CloudService
+from repro.gateway import GalioTGateway
+from repro.net import SceneBuilder
+from repro.phy import create_modem
+
+FS = 1e6
+
+
+def render_scene(rng, include_sigfox: bool):
+    scene = SceneBuilder(FS, 1.7)
+    scene.add_packet(
+        create_modem("xbee"), b"legacy frame", 100_000, 10, rng,
+        snr_mode="capture",
+    )
+    if include_sigfox:
+        # SigFox is 100 bit/s: even a 4-byte frame takes ~1 s of air.
+        scene.add_packet(
+            create_modem("sigfox"), b"new!", 450_000, 6, rng,
+            snr_mode="capture",
+        )
+    return scene.render(rng)
+
+
+def run(modem_names, capture, rng):
+    modems = [create_modem(n) for n in modem_names]
+    gateway = GalioTGateway(modems, FS, detector="universal", use_edge=False)
+    cloud = CloudService(modems, FS)
+    report = gateway.process(capture, rng)
+    decoded = []
+    for segment in report.shipped:
+        decoded.extend(cloud.process_segment(segment))
+    return gateway, decoded
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    capture, _ = render_scene(rng, include_sigfox=True)
+
+    print("gateway v1 (lora/xbee/zwave):")
+    gw1, decoded1 = run(("lora", "xbee", "zwave"), capture, rng)
+    print(f"  correlations per capture: {gw1.detector.n_correlations}")
+    print(f"  decoded: {[(r.technology, r.payload) for r in decoded1]}")
+    assert all(r.technology != "sigfox" for r in decoded1)
+
+    print("\napplying the software update: register 'sigfox'...\n")
+
+    print("gateway v2 (lora/xbee/zwave/sigfox):")
+    gw2, decoded2 = run(("lora", "xbee", "zwave", "sigfox"), capture, rng)
+    print(f"  correlations per capture: {gw2.detector.n_correlations} "
+          "(unchanged — the universal preamble absorbed the new entry)")
+    print(f"  decoded: {[(r.technology, r.payload) for r in decoded2]}")
+    got = {r.technology for r in decoded2}
+    assert "sigfox" in got, "the updated gateway should hear SigFox"
+    print("\nsoftware-update extensibility demonstrated")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Backhaul budget: compute, compress or ship? (paper Sec. 6).
+
+Renders one second of duty-cycled three-technology traffic and accounts
+the uplink bits for three gateway strategies:
+
+1. ship the raw 8-bit I/Q stream (the strawman: 16 Mbit/s, always);
+2. detect-and-ship 2x-max-frame segments (GalioT's design);
+3. detect, requantize and zlib the segments (the Sec.-6 refinement);
+
+then pushes strategy 3 through a modelled 10 Mbit/s home uplink and
+reports utilization and per-segment delay.
+
+Run:  python examples/backhaul_budget.py
+"""
+
+import numpy as np
+
+from repro.gateway import (
+    BackhaulLink,
+    GalioTGateway,
+    SegmentCodec,
+)
+from repro.net import Device, poisson_scene
+from repro.phy import create_modem
+
+FS = 1e6
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    modems = [create_modem(name) for name in ("lora", "xbee", "zwave")]
+    devices = [
+        Device(
+            device_id=i,
+            technology=m.name,
+            modem=m,
+            mean_interval_s=0.5,
+            payload_range=(8, 16),
+            snr_db=12.0,
+        )
+        for i, m in enumerate(modems)
+    ]
+    capture, truth = poisson_scene(devices, FS, duration_s=1.0, rng=rng)
+    print(f"scene: {len(truth.packets)} packets in 1.0 s of 1 MHz capture\n")
+
+    raw_bits = len(capture) * 2 * 8
+    print(f"1) ship raw I/Q        : {raw_bits / 1e6:7.2f} Mbit "
+          "(16 Mbit/s forever, regardless of traffic)")
+
+    gateway = GalioTGateway(modems, FS, detector="universal", use_edge=False)
+    report = gateway.process(capture, rng)
+    segment_bits = sum(s.length * 2 * 8 for s in report.shipped)
+    print(f"2) detect-and-ship     : {segment_bits / 1e6:7.2f} Mbit "
+          f"({len(report.shipped)} segments)")
+
+    codec = SegmentCodec(bits=8)
+    compressed_bits = 0
+    for segment in report.shipped:
+        blob, _ = codec.compress(segment)
+        compressed_bits += blob.n_bits
+    print(f"3) + requantize + zlib : {compressed_bits / 1e6:7.2f} Mbit "
+          f"(x{raw_bits / max(compressed_bits, 1):.1f} less than raw)\n")
+
+    link = BackhaulLink(rate_bps=10e6, latency_s=0.02)
+    for segment in report.shipped:
+        blob, _ = codec.compress(segment)
+        link.ship(blob.n_bits, at_time=segment.start / FS)
+    print(f"over a 10 Mbit/s uplink: utilization "
+          f"{100 * link.utilization(1.0):.1f}%, "
+          f"worst segment delay "
+          f"{max(s.delay for s in link.shipments) * 1e3:.0f} ms")
+
+
+if __name__ == "__main__":
+    main()

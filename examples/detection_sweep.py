@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Detection sweep: energy vs universal vs optimal across SNR.
+
+Reproduces the Figure 3(b) experiment at a configurable size and prints
+an ASCII bar chart of the detection ratio per SNR band — energy
+detection collapsing below 0 dB while the universal preamble keeps
+tracking the optimal per-technology bank.
+
+Run:  python examples/detection_sweep.py [--trials N]
+"""
+
+import argparse
+
+from repro.experiments import format_table, run_fig3b
+
+
+def bar(value: float, width: int = 32) -> str:
+    filled = int(round(value * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=2,
+                        help="scenes per SNR band (default 2)")
+    args = parser.parse_args()
+
+    print("running the Figure 3(b) detection sweep "
+          f"({args.trials} scenes x 5 packets per band)...\n")
+    result = run_fig3b(trials_per_band=args.trials)
+    print(format_table(result.table()))
+
+    print("\nratio of packets detected (ASCII view):")
+    for i, (lo, hi) in enumerate(result.bands):
+        print(f"\n  SNR {lo:+.0f}..{hi:+.0f} dB")
+        for name in ("energy", "universal", "optimal"):
+            value = result.ratios[name][i]
+            print(f"    {name:10s} |{bar(value)}| {value:.2f}")
+
+    below = [i for i, (lo, hi) in enumerate(result.bands) if hi <= -10]
+    uni = sum(result.ratios["universal"][i] for i in below) / len(below)
+    eng = sum(result.ratios["energy"][i] for i in below) / len(below)
+    print(f"\nbelow -10 dB: universal detects {100 * (uni - eng):.0f}% more "
+          f"packets than energy detection (paper: +50.89%)")
+
+
+if __name__ == "__main__":
+    main()

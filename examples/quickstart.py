@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: one XBee frame through the full GalioT pipeline.
+
+Builds a 1 MHz scene with a single XBee transmission, runs the gateway
+(RTL-SDR front end -> universal-preamble detection -> segment extraction
+-> compression) and decodes the shipped segment at the cloud.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.cloud import CloudService
+from repro.gateway import GalioTGateway, RtlSdrConfig, RtlSdrModel
+from repro.net import SceneBuilder
+from repro.phy import create_modem
+
+FS = 1e6  # the paper's RTL-SDR capture rate
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # 1. The gateway is configured with a list of technologies — adding
+    #    one later is the paper's "software update".
+    modems = [create_modem(name) for name in ("lora", "xbee", "zwave")]
+
+    # 2. Synthesize what the antenna sees: 0.3 s of 868 MHz band with
+    #    one XBee frame 10 dB above the noise floor.
+    scene = SceneBuilder(FS, duration_s=0.3)
+    xbee = next(m for m in modems if m.name == "xbee")
+    payload = b"hello from an XBee node"
+    scene.add_packet(xbee, payload, start=60_000, snr_db=10.0, rng=rng,
+                     snr_mode="capture")
+    capture, truth = scene.render(rng)
+
+    # 3. The gateway: cheap front end + one universal-preamble correlation.
+    gateway = GalioTGateway(
+        modems,
+        FS,
+        detector="universal",
+        front_end=RtlSdrModel(RtlSdrConfig(adc_bits=8, dc_offset=0.002)),
+        use_edge=False,  # ship everything to the cloud for this demo
+    )
+    report = gateway.process(capture, rng)
+    print(f"detections        : {len(report.events)}")
+    print(f"segments shipped  : {len(report.shipped)}")
+    print(f"backhaul bits     : {report.shipped_bits} "
+          f"(raw stream would be {report.raw_bits}; "
+          f"saving x{report.backhaul_saving:.1f})")
+
+    # 4. The cloud: joint decoding (Algorithm 1).
+    cloud = CloudService(modems, FS)
+    for segment in report.shipped:
+        for result in cloud.process_segment(segment):
+            print(f"decoded [{result.technology}/{result.method}] "
+                  f"payload={result.payload!r}")
+            assert result.payload == payload
+
+    print("quickstart OK")
+
+
+if __name__ == "__main__":
+    main()

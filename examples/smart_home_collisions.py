@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Smart-home scenario: cross-technology collisions, SIC vs GalioT.
+
+Six duty-cycled devices (2x LoRa, 2x XBee, 2x Z-Wave) "wake up and
+transmit" around one gateway for a few simulated seconds. The same
+traffic is decoded twice — once with the classic SIC strawman and once
+with GalioT's Algorithm 1 — and the script reports delivery ratio,
+throughput and the retransmission count that drives battery drain.
+
+Run:  python examples/smart_home_collisions.py
+"""
+
+import numpy as np
+
+from repro.cloud import CloudService
+from repro.gateway import GalioTGateway
+from repro.net import Device, NetworkSimulator
+from repro.phy import create_modem
+
+FS = 1e6
+
+
+def build_devices(modems, rng):
+    devices = []
+    device_id = 0
+    for modem in modems:
+        for _ in range(2):
+            devices.append(
+                Device(
+                    device_id=device_id,
+                    technology=modem.name,
+                    modem=modem,
+                    mean_interval_s=0.45,  # busy cell: collisions happen
+                    payload_range=(8, 14),
+                    snr_db=float(rng.uniform(11, 16)),
+                )
+            )
+            device_id += 1
+    return devices
+
+
+def run(mode: str, devices, modems, rounds: int, seed: int):
+    gateway = GalioTGateway(modems, FS, detector="universal", use_edge=True)
+    cloud = CloudService(
+        modems,
+        FS,
+        use_kill_filters=(mode == "galiot"),
+        strict_order=(mode == "sic"),
+    )
+    sim = NetworkSimulator(
+        devices, gateway, cloud, FS, round_s=0.5, max_attempts=3
+    )
+    return sim.run(rounds=rounds, rng=np.random.default_rng(seed))
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    modems = [create_modem(name) for name in ("lora", "xbee", "zwave")]
+    devices = build_devices(modems, rng)
+
+    print("simulating identical traffic under both cloud decoders...\n")
+    results = {}
+    for mode in ("sic", "galiot"):
+        results[mode] = run(mode, devices, modems, rounds=3, seed=2024)
+        r = results[mode]
+        label = "SIC baseline" if mode == "sic" else "GalioT      "
+        print(
+            f"{label}: delivered {r.delivered_frames}/{r.offered_frames} "
+            f"({100 * r.delivery_ratio:.0f}%), "
+            f"throughput {r.throughput_bps:.0f} bit/s, "
+            f"transmissions {r.transmissions} "
+            f"({r.mac.attempts_per_delivery:.2f} per delivery)"
+        )
+
+    sic, galiot = results["sic"], results["galiot"]
+    if sic.throughput_bps > 0:
+        print(
+            f"\nGalioT throughput gain: "
+            f"x{galiot.throughput_bps / sic.throughput_bps:.2f} "
+            f"(the paper reports x7.46 on its testbed)"
+        )
+    saved = sic.transmissions - galiot.transmissions
+    print(f"transmissions saved by collision decoding: {saved} "
+          f"(fewer retransmissions = longer battery life)")
+
+
+if __name__ == "__main__":
+    main()

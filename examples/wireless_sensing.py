@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Multi-technology wireless sensing (paper Sec. 6, future work).
+
+Simulates a room where three heterogeneous IoT devices chirp away for a
+"minute" of wall-clock time. Halfway through, a person enters and the
+multipath channel of every device shifts. Each decoded packet yields a
+free channel snapshot; pooling the snapshots across technologies lets
+the cloud detect the occupancy change that no single wimpy device could
+report on its own.
+
+Run:  python examples/wireless_sensing.py
+"""
+
+import numpy as np
+
+from repro.cloud import try_decode
+from repro.net import SceneBuilder
+from repro.phy import create_modem
+from repro.sensing import OccupancyDetector, snapshot_from_frame
+
+FS = 1e6
+PERSON_ENTERS_AT = 30.0  # seconds
+
+
+def channel_amplitude(t: float, base: float, rng) -> float:
+    """Static multipath before the event, shifted + jittery after."""
+    if t < PERSON_ENTERS_AT:
+        return base * (1 + 0.01 * rng.normal())
+    return base * 1.5 * (1 + 0.04 * rng.normal())
+
+
+def main() -> None:
+    rng = np.random.default_rng(12)
+    devices = [
+        (0, create_modem("lora"), 1.0),
+        (1, create_modem("xbee"), 0.7),
+        (2, create_modem("zwave"), 1.3),
+    ]
+
+    print("collecting per-packet channel snapshots from 3 technologies...")
+    snapshots = []
+    t = 0.0
+    while t < 60.0:
+        device_id, modem, base = devices[int(rng.integers(len(devices)))]
+        amplitude = channel_amplitude(t, base, rng)
+        scene = SceneBuilder(FS, modem.frame_airtime(8) + 0.01, noise_power=1e-4)
+        scene.add_packet(modem, b"sense-me", 2000, 35, rng, snr_mode="capture")
+        capture, _ = scene.render(rng)
+        capture = capture * amplitude
+        frame = try_decode(modem, capture, FS)
+        if frame is not None:
+            snapshots.append(
+                snapshot_from_frame(
+                    capture, FS, modem, frame, time_s=t, device_id=device_id
+                )
+            )
+        t += float(rng.exponential(1.2))
+
+    print(f"{len(snapshots)} snapshots collected "
+          f"({len({s.technology for s in snapshots})} technologies)\n")
+
+    detector = OccupancyDetector(window_s=8.0, threshold=2.5)
+    events = detector.detect(snapshots)
+    if not events:
+        print("no channel change detected (try a different seed)")
+        return
+    for event in events:
+        print(
+            f"occupancy change detected: t = {event.start_s:.1f}..."
+            f"{event.end_s:.1f} s (score {event.score:.1f}, "
+            f"{event.n_snapshots} snapshots)"
+        )
+    print(f"\nground truth: person entered at t = {PERSON_ENTERS_AT:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

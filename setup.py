@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline build environment has no ``wheel`` package, so PEP 660
+editable installs cannot build; this shim lets ``pip install -e .`` fall
+back to the legacy ``setup.py develop`` path. All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

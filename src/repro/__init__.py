@@ -1,0 +1,50 @@
+"""GalioT — a software-defined-radio multi-technology IoT gateway.
+
+Reproduction of "Revisiting Software Defined Radios in the IoT Era"
+(HotNets '18). See DESIGN.md for the system inventory and EXPERIMENTS.md
+for the paper-vs-measured results.
+
+The public API is re-exported here; subpackages:
+
+* :mod:`repro.utils` — bit substrates (CRC, whitening, FEC, interleaving)
+* :mod:`repro.dsp` — DSP substrate (chirps, filters, correlation, channels)
+* :mod:`repro.phy` — PHY modems (LoRa, XBee, Z-Wave, BLE, SigFox, O-QPSK)
+* :mod:`repro.gateway` — RTL-SDR model + universal packet detection
+* :mod:`repro.cloud` — kill filters, SIC, the Algorithm-1 collision decoder
+* :mod:`repro.net` — IoT traffic, scenes, MAC/energy, network simulator
+* :mod:`repro.sensing` — multi-technology wireless sensing extension
+* :mod:`repro.analysis` — Shannon-limit / link-budget calculations
+* :mod:`repro.io` — cfile / rtl_sdr / SigMF capture file I/O
+* :mod:`repro.experiments` — table/figure reproduction harnesses
+"""
+
+from __future__ import annotations
+
+__version__ = "0.1.0"
+
+from .errors import (
+    CapacityError,
+    ChecksumError,
+    ConfigurationError,
+    DecodeError,
+    FrameSyncError,
+    ReproError,
+    UnknownTechnologyError,
+)
+from .types import DecodeResult, DetectionEvent, PacketTruth, SceneTruth, Segment
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ConfigurationError",
+    "DecodeError",
+    "FrameSyncError",
+    "ChecksumError",
+    "CapacityError",
+    "UnknownTechnologyError",
+    "PacketTruth",
+    "DetectionEvent",
+    "Segment",
+    "DecodeResult",
+    "SceneTruth",
+]

@@ -1,0 +1,74 @@
+"""Command-line entry point: ``galiot <experiment>``.
+
+Runs any of the paper-reproduction experiments and prints its table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import (
+    format_table,
+    run_battery,
+    run_boundary,
+    run_compression,
+    run_compression_depth,
+    run_overlap,
+    run_roc,
+    run_edge_cloud,
+    run_fig3b,
+    run_fig3c,
+    run_headline,
+    run_hopping,
+    run_kill_filters,
+    run_scaling,
+    run_sic_depth,
+    run_table1,
+)
+
+_EXPERIMENTS = {
+    "table1": lambda args: run_table1(),
+    "fig3b": lambda args: run_fig3b(trials_per_band=args.trials).table(),
+    "fig3c": lambda args: run_fig3c(episodes_per_bucket=args.trials).table(),
+    "headline": lambda args: run_headline(
+        detection_trials=args.trials, episodes_per_bucket=args.trials
+    ).table(),
+    "scaling": lambda args: run_scaling(),
+    "compression": lambda args: run_compression(),
+    "kill-filters": lambda args: run_kill_filters(),
+    "edge-cloud": lambda args: run_edge_cloud(),
+    "sic-depth": lambda args: run_sic_depth(),
+    "boundary": lambda args: run_boundary(trials=args.trials),
+    "hopping": lambda args: run_hopping(),
+    "roc": lambda args: run_roc(trials=args.trials),
+    "compression-depth": lambda args: run_compression_depth(trials=args.trials),
+    "overlap": lambda args: run_overlap(trials=args.trials),
+    "battery": lambda args: run_battery(rounds=max(args.trials, 1)),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments, run one experiment, print its table."""
+    parser = argparse.ArgumentParser(
+        prog="galiot",
+        description=(
+            "GalioT (HotNets'18) reproduction experiments: regenerate the "
+            "paper's tables and figures from the simulated prototype."
+        ),
+    )
+    parser.add_argument("experiment", choices=sorted(_EXPERIMENTS))
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=3,
+        help="scenes/episodes per band or bucket (larger = smoother)",
+    )
+    args = parser.parse_args(argv)
+    table = _EXPERIMENTS[args.experiment](args)
+    print(format_table(table))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""GalioT cloud: classification, kill filters, SIC and Algorithm 1."""
+
+from .classify import ClassifiedSignal, SegmentClassifier
+from .decoder import CloudDecodeReport, CloudDecoder
+from .dispatch import Assignment, ComputeNode, Dispatcher, SlaPolicy
+from .kill_filters import KillCodes, KillCss, KillFrequency, kill_filter_for
+from .pipeline import CloudService, CloudStats
+from .sic import ReconstructionReport, reconstruct_and_subtract, try_decode
+
+__all__ = [
+    "ClassifiedSignal",
+    "SegmentClassifier",
+    "Assignment",
+    "ComputeNode",
+    "Dispatcher",
+    "SlaPolicy",
+    "CloudDecodeReport",
+    "CloudDecoder",
+    "KillFrequency",
+    "KillCss",
+    "KillCodes",
+    "kill_filter_for",
+    "CloudService",
+    "CloudStats",
+    "ReconstructionReport",
+    "reconstruct_and_subtract",
+    "try_decode",
+]

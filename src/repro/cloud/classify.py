@@ -1,0 +1,123 @@
+"""Technology classification of shipped segments.
+
+The gateway deliberately does not know which technologies are inside a
+detected segment (Sec. 4: that task is outsourced to the cloud). The
+classifier correlates the segment against every registered technology's
+sync waveform and returns the candidates above threshold, each with a
+start estimate and a least-squares amplitude estimate — the power
+ordering Algorithm 1 keys on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dsp.correlation import find_peaks_above
+from ..dsp.resample import to_rate
+from ..errors import ConfigurationError
+from ..gateway.detection import cfar_threshold, matched_filter_track
+from ..phy.base import Modem
+
+__all__ = ["ClassifiedSignal", "SegmentClassifier"]
+
+
+@dataclass
+class ClassifiedSignal:
+    """One candidate transmission found inside a segment.
+
+    Attributes:
+        technology: Registry name.
+        start: Estimated frame start (native-rate samples of the modem).
+        score: Matched-filter detection score.
+        amplitude: LS complex amplitude of the sync waveform at ``start``
+            (its magnitude squared is the power Algorithm 1 sorts by).
+    """
+
+    technology: str
+    start: int
+    score: float
+    amplitude: complex
+
+    @property
+    def power(self) -> float:
+        """Estimated received power (|amplitude|^2, template-relative)."""
+        return float(abs(self.amplitude) ** 2)
+
+
+class SegmentClassifier:
+    """Finds which technologies (and where) live inside a segment.
+
+    Args:
+        modems: Registered technologies.
+        fs: Sample rate of incoming segments.
+        k: CFAR factor for declaring a technology present.
+        max_per_technology: Cap on same-technology frames per segment
+            (each extra candidate costs the decoder a decode attempt,
+            and same-technology collisions inside one segment are rare).
+    """
+
+    def __init__(
+        self,
+        modems: list[Modem],
+        fs: float,
+        k: float = 8.0,
+        max_per_technology: int = 2,
+    ):
+        if not modems:
+            raise ConfigurationError("at least one modem is required")
+        self.modems = list(modems)
+        self.fs = float(fs)
+        self.k = float(k)
+        self.max_per_technology = int(max_per_technology)
+        # Precompute per-modem sync references once: classify() runs
+        # repeatedly (Algorithm 1 re-classifies after every
+        # cancellation) and regenerating long waveforms dominates.
+        self._refs: list[tuple[Modem, np.ndarray, np.ndarray, int, int | None, float]] = []
+        for modem in self.modems:
+            ref = (
+                modem.sync_waveform()
+                if hasattr(modem, "sync_waveform")
+                else modem.preamble_waveform()
+            )
+            stride = max(int(modem.sync_decimation), 1)
+            tpl = ref[::stride] if stride > 1 else ref
+            block = modem.sync_block
+            if block is not None and stride > 1:
+                block = max(block // stride, 8)
+            ref_energy = float(np.sum(np.abs(ref) ** 2))
+            self._refs.append((modem, ref, tpl, stride, block, ref_energy))
+
+    def classify(self, samples: np.ndarray) -> list[ClassifiedSignal]:
+        """Rank the transmissions present in ``samples`` by power."""
+        found: list[ClassifiedSignal] = []
+        for modem, ref, tpl, stride, block, ref_energy in self._refs:
+            native = to_rate(samples, self.fs, modem.sample_rate)
+            if len(ref) > len(native):
+                continue
+            # Spread-spectrum references correlate at a stride (the
+            # modem's fine sync absorbs the timing quantization).
+            sig = native[::stride] if stride > 1 else native
+            track = matched_filter_track(sig, tpl, block=block)
+            threshold = cfar_threshold(track, self.k)
+            min_dist = max(len(tpl) // 2, 1)
+            peaks = find_peaks_above(track, threshold, min_dist)
+            peaks = sorted(peaks, key=lambda i: track[i], reverse=True)
+            for idx in peaks[: self.max_per_technology]:
+                start = int(idx) * stride
+                window = native[start : start + len(ref)]
+                if len(window) < len(ref):
+                    continue
+                amplitude = complex(
+                    np.sum(np.conj(ref) * window) / ref_energy
+                )
+                found.append(
+                    ClassifiedSignal(
+                        technology=modem.name,
+                        start=start,
+                        score=float(track[idx]),
+                        amplitude=amplitude,
+                    )
+                )
+        return sorted(found, key=lambda c: c.power, reverse=True)

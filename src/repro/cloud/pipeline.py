@@ -1,0 +1,94 @@
+"""The GalioT cloud service: decompress shipped segments, joint-decode.
+
+Binds the wire format (:mod:`repro.gateway.compression`) to the
+Algorithm-1 decoder and aggregates statistics across segments — the
+"GalioT Cloud" box of Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..gateway.compression import CompressedSegment, SegmentCodec
+from ..phy.base import Modem
+from ..types import DecodeResult, Segment
+from .decoder import CloudDecodeReport, CloudDecoder
+
+__all__ = ["CloudStats", "CloudService"]
+
+
+@dataclass
+class CloudStats:
+    """Aggregate counters across all processed segments."""
+
+    segments: int = 0
+    frames_decoded: int = 0
+    by_method: dict[str, int] = field(default_factory=dict)
+    by_technology: dict[str, int] = field(default_factory=dict)
+    kill_invocations: int = 0
+    sic_cancellations: int = 0
+
+    def absorb(self, report: CloudDecodeReport) -> None:
+        """Fold one segment's report into the totals."""
+        self.segments += 1
+        self.kill_invocations += report.kill_invocations
+        self.sic_cancellations += report.sic_cancellations
+        for result in report.results:
+            self.frames_decoded += 1
+            self.by_method[result.method] = (
+                self.by_method.get(result.method, 0) + 1
+            )
+            self.by_technology[result.technology] = (
+                self.by_technology.get(result.technology, 0) + 1
+            )
+
+
+class CloudService:
+    """Stateful cloud endpoint consuming shipped segments.
+
+    Args:
+        modems: Registered technologies.
+        fs: Capture sample rate of arriving segments.
+        use_kill_filters: False runs the SIC-only baseline.
+        codec: Wire codec for compressed segments.
+    """
+
+    def __init__(
+        self,
+        modems: list[Modem],
+        fs: float,
+        use_kill_filters: bool = True,
+        strict_order: bool = False,
+        codec: SegmentCodec | None = None,
+    ):
+        self.decoder = CloudDecoder(
+            modems,
+            fs,
+            use_kill_filters=use_kill_filters,
+            strict_order=strict_order,
+        )
+        self.codec = codec or SegmentCodec()
+        self.stats = CloudStats()
+
+    def process_segment(self, segment: Segment) -> list[DecodeResult]:
+        """Joint-decode one (already decompressed) segment."""
+        report = self.decoder.decode(segment.samples)
+        self.stats.absorb(report)
+        # Re-base frame starts onto capture-time sample indices.
+        return [
+            DecodeResult(
+                technology=r.technology,
+                payload=r.payload,
+                ok=r.ok,
+                method=r.method,
+                power_db=r.power_db,
+                start=r.start + segment.start,
+            )
+            for r in report.results
+        ]
+
+    def process_compressed(
+        self, compressed: CompressedSegment
+    ) -> list[DecodeResult]:
+        """Decompress a wire blob, then joint-decode it."""
+        return self.process_segment(self.codec.decompress(compressed))

@@ -1,0 +1,131 @@
+"""Filter design and application.
+
+Everything here is deliberately simple, deterministic DSP: windowed-sinc
+FIR design for channelization, a Gaussian pulse for GFSK shaping, a
+half-sine pulse for O-QPSK, moving-average smoothing for energy detection,
+and FFT-domain masks (notch / bandpass) that the cloud kill filters build
+on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "design_lowpass_fir",
+    "fir_filter",
+    "gaussian_pulse",
+    "half_sine_pulse",
+    "moving_average",
+    "fft_notch",
+    "fft_bandpass",
+    "frequency_shift",
+]
+
+
+def design_lowpass_fir(
+    num_taps: int, cutoff_hz: float, fs: float, window: str = "hamming"
+) -> np.ndarray:
+    """Windowed-sinc linear-phase lowpass FIR.
+
+    Args:
+        num_taps: Filter length (odd lengths give integer group delay).
+        cutoff_hz: One-sided cutoff frequency.
+        fs: Sample rate.
+        window: Any window name accepted by scipy.
+
+    Raises:
+        ConfigurationError: if the cutoff is not inside (0, fs/2).
+    """
+    if not 0 < cutoff_hz < fs / 2:
+        raise ConfigurationError("cutoff must be inside (0, fs/2)")
+    if num_taps < 3:
+        raise ConfigurationError("num_taps must be >= 3")
+    return sp_signal.firwin(num_taps, cutoff_hz, fs=fs, window=window)
+
+
+def fir_filter(x: np.ndarray, taps: np.ndarray, mode: str = "same") -> np.ndarray:
+    """Apply an FIR filter via FFT convolution."""
+    return sp_signal.fftconvolve(x, taps, mode=mode)
+
+
+def gaussian_pulse(bt: float, sps: int, span: int = 4) -> np.ndarray:
+    """Gaussian frequency-shaping pulse for GFSK.
+
+    Args:
+        bt: Bandwidth-time product (0.5 for BLE/802.15.4-FSK).
+        sps: Samples per symbol.
+        span: Pulse length in symbols (total taps = span * sps + 1).
+
+    Returns:
+        Pulse normalized so its sum is 1 (it shapes a +-1 NRZ frequency
+        waveform; unit sum preserves the total phase advance per bit).
+    """
+    if bt <= 0:
+        raise ConfigurationError("bt must be positive")
+    if sps < 1:
+        raise ConfigurationError("sps must be >= 1")
+    t = np.arange(-span * sps / 2, span * sps / 2 + 1) / sps
+    alpha = np.sqrt(np.log(2) / 2) / bt
+    pulse = (np.sqrt(np.pi) / alpha) * np.exp(-((np.pi * t / alpha) ** 2))
+    return pulse / pulse.sum()
+
+
+def half_sine_pulse(sps: int) -> np.ndarray:
+    """Half-sine chip pulse used by 802.15.4 O-QPSK."""
+    if sps < 1:
+        raise ConfigurationError("sps must be >= 1")
+    return np.sin(np.pi * np.arange(sps) / sps) if sps > 1 else np.ones(1)
+
+
+def moving_average(x: np.ndarray, n: int) -> np.ndarray:
+    """Length-preserving moving average (same-mode convolution)."""
+    if n < 1:
+        raise ConfigurationError("window length must be >= 1")
+    kernel = np.ones(n) / n
+    return np.convolve(x, kernel, mode="same")
+
+
+def _band_mask(n: int, fs: float, bands: list[tuple[float, float]]) -> np.ndarray:
+    """Boolean FFT-bin mask that is True inside any of ``bands``.
+
+    Bands are (low, high) in Hz and may be negative (complex baseband).
+    """
+    freqs = np.fft.fftfreq(n, d=1.0 / fs)
+    mask = np.zeros(n, dtype=bool)
+    for low, high in bands:
+        if high < low:
+            low, high = high, low
+        mask |= (freqs >= low) & (freqs <= high)
+    return mask
+
+
+def fft_notch(
+    x: np.ndarray, fs: float, bands: list[tuple[float, float]]
+) -> np.ndarray:
+    """Zero the FFT bins falling inside ``bands`` (brick-wall notch).
+
+    This is the primitive behind KILL-FREQUENCY: FSK concentrates its
+    energy at a handful of tones, so zeroing narrow bands around those
+    tones removes the FSK signal while barely touching a co-channel
+    spread-spectrum signal.
+    """
+    spectrum = np.fft.fft(x)
+    spectrum[_band_mask(len(x), fs, bands)] = 0
+    return np.fft.ifft(spectrum)
+
+
+def fft_bandpass(x: np.ndarray, fs: float, band: tuple[float, float]) -> np.ndarray:
+    """Keep only the FFT bins inside ``band`` (brick-wall bandpass)."""
+    spectrum = np.fft.fft(x)
+    spectrum[~_band_mask(len(x), fs, [band])] = 0
+    return np.fft.ifft(spectrum)
+
+
+def frequency_shift(x: np.ndarray, shift_hz: float, fs: float) -> np.ndarray:
+    """Mix ``x`` by ``exp(+j 2 pi shift_hz t)`` (moves energy up by shift)."""
+    n = np.arange(len(x))
+    return x * np.exp(2j * np.pi * shift_hz * n / fs)

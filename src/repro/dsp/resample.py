@@ -1,0 +1,97 @@
+"""Sample-rate conversion.
+
+Modems run at their native oversampling of the symbol rate; the scene
+composer and the cloud decoders move signals between a modem's native
+rate and the gateway capture rate (1 MHz) with these helpers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "upsample_integer",
+    "decimate_integer",
+    "resample_rational",
+    "fractional_delay",
+    "to_rate",
+]
+
+
+def upsample_integer(x: np.ndarray, factor: int) -> np.ndarray:
+    """Interpolate by an integer factor (polyphase, anti-image filtered)."""
+    if factor < 1:
+        raise ConfigurationError("factor must be >= 1")
+    if factor == 1:
+        return x.copy()
+    return sp_signal.resample_poly(x, factor, 1)
+
+
+def decimate_integer(x: np.ndarray, factor: int) -> np.ndarray:
+    """Decimate by an integer factor (polyphase, anti-alias filtered)."""
+    if factor < 1:
+        raise ConfigurationError("factor must be >= 1")
+    if factor == 1:
+        return x.copy()
+    return sp_signal.resample_poly(x, 1, factor)
+
+
+def resample_rational(x: np.ndarray, up: int, down: int) -> np.ndarray:
+    """Rational resampling by ``up / down`` (polyphase)."""
+    if up < 1 or down < 1:
+        raise ConfigurationError("up and down must be >= 1")
+    return sp_signal.resample_poly(x, up, down)
+
+
+def to_rate(x: np.ndarray, fs_in: float, fs_out: float) -> np.ndarray:
+    """Resample ``x`` from ``fs_in`` to ``fs_out`` (rational polyphase).
+
+    The rate ratio is reduced to a small rational; rates must be
+    commensurate to within 1e-9 relative error.
+
+    Raises:
+        ConfigurationError: if the ratio cannot be expressed as a
+            rational with denominator <= 1e6.
+    """
+    if fs_in <= 0 or fs_out <= 0:
+        raise ConfigurationError("sample rates must be positive")
+    if abs(fs_in - fs_out) < 1e-9 * fs_in:
+        return x.copy()
+    from fractions import Fraction
+
+    ratio = Fraction(fs_out / fs_in).limit_denominator(1_000_000)
+    if ratio.numerator == 0:
+        raise ConfigurationError("rate ratio too extreme to resample")
+    achieved = fs_in * ratio.numerator / ratio.denominator
+    if abs(achieved - fs_out) > 1e-6 * fs_out:
+        raise ConfigurationError(
+            f"rates {fs_in} -> {fs_out} are not commensurate"
+        )
+    return sp_signal.resample_poly(x, ratio.numerator, ratio.denominator)
+
+
+def fractional_delay(x: np.ndarray, delay: float) -> np.ndarray:
+    """Delay ``x`` by a (possibly fractional) number of samples.
+
+    Integer part is a zero-padded shift; the fractional part uses linear
+    interpolation. Output has the same length as the input.
+    """
+    if delay < 0:
+        raise ConfigurationError("delay must be non-negative")
+    n = len(x)
+    whole = int(np.floor(delay))
+    frac = delay - whole
+    out = np.zeros(n, dtype=x.dtype)
+    if whole >= n:
+        return out
+    shifted = x[: n - whole]
+    if frac > 0:
+        interp = np.empty_like(shifted)
+        interp[0] = shifted[0] * (1 - frac)
+        interp[1:] = (1 - frac) * shifted[1:] + frac * shifted[:-1]
+        shifted = interp
+    out[whole:] = shifted
+    return out

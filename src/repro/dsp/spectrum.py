@@ -1,0 +1,85 @@
+"""Spectral analysis helpers: Welch PSD and STFT.
+
+Used by the kill filters (to locate FSK tones in a collision) and by the
+examples for visual inspection of synthetic captures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from ..errors import ConfigurationError
+
+__all__ = ["welch_psd", "stft", "dominant_tones"]
+
+
+def welch_psd(
+    x: np.ndarray, fs: float, nperseg: int = 256
+) -> tuple[np.ndarray, np.ndarray]:
+    """Welch power spectral density of a complex baseband signal.
+
+    Returns:
+        ``(freqs, psd)`` with frequencies sorted ascending from ``-fs/2``
+        to ``+fs/2`` (fftshifted).
+    """
+    if len(x) < 2:
+        raise ConfigurationError("need at least two samples for a PSD")
+    nperseg = min(nperseg, len(x))
+    freqs, psd = sp_signal.welch(
+        x, fs=fs, nperseg=nperseg, return_onesided=False, detrend=False
+    )
+    order = np.argsort(freqs)
+    return freqs[order], psd[order]
+
+
+def stft(
+    x: np.ndarray, fs: float, nfft: int = 256, hop: int | None = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Short-time Fourier transform magnitude.
+
+    Returns:
+        ``(times, freqs, magnitude)`` where ``magnitude`` has shape
+        ``(len(freqs), len(times))`` and frequencies are fftshifted.
+    """
+    if nfft < 2:
+        raise ConfigurationError("nfft must be >= 2")
+    hop = hop or nfft // 2
+    if hop < 1:
+        raise ConfigurationError("hop must be >= 1")
+    starts = np.arange(0, max(len(x) - nfft + 1, 1), hop)
+    window = np.hanning(nfft)
+    mags = np.empty((nfft, len(starts)))
+    for i, s in enumerate(starts):
+        seg = x[s : s + nfft]
+        if len(seg) < nfft:
+            seg = np.pad(seg, (0, nfft - len(seg)))
+        mags[:, i] = np.abs(np.fft.fftshift(np.fft.fft(seg * window)))
+    freqs = np.fft.fftshift(np.fft.fftfreq(nfft, d=1.0 / fs))
+    times = starts / fs
+    return times, freqs, mags
+
+
+def dominant_tones(
+    x: np.ndarray, fs: float, n_tones: int, min_separation_hz: float
+) -> list[float]:
+    """Frequencies of the ``n_tones`` strongest spectral peaks.
+
+    Peaks closer than ``min_separation_hz`` to an already-selected peak
+    are skipped, so an FSK pair is reported as two tones rather than the
+    two strongest bins of one lobe. Used by KILL-FREQUENCY when tone
+    positions must be estimated from the collision itself.
+    """
+    if n_tones < 1:
+        raise ConfigurationError("n_tones must be >= 1")
+    spectrum = np.abs(np.fft.fft(x)) ** 2
+    freqs = np.fft.fftfreq(len(x), d=1.0 / fs)
+    order = np.argsort(spectrum)[::-1]
+    chosen: list[float] = []
+    for idx in order:
+        f = float(freqs[idx])
+        if all(abs(f - c) >= min_separation_hz for c in chosen):
+            chosen.append(f)
+        if len(chosen) == n_tones:
+            break
+    return chosen

@@ -1,0 +1,58 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+========  =============================  ==========================
+Id        Paper artifact                 Entry point
+========  =============================  ==========================
+T1        Table 1                        :func:`run_table1`
+F3b       Figure 3(b)                    :func:`run_fig3b`
+F3c       Figure 3(c)                    :func:`run_fig3c`
+H1-H3     Sec. 1/7/8 headline numbers    :func:`run_headline`
+ablation  design-choice ablations        :mod:`repro.experiments.ablations`
+========  =============================  ==========================
+"""
+
+from .ablations import (
+    run_compression,
+    run_edge_cloud,
+    run_kill_filters,
+    run_scaling,
+    run_sic_depth,
+)
+from .battery import run_battery
+from .boundary import run_boundary
+from .growth import run_universal_growth
+from .common import DEFAULT_SEED, ExperimentTable, format_table
+from .hopping_exp import run_hopping
+from .sweeps import run_compression_depth, run_overlap, run_roc
+from .fig3b_detection import PAPER_FIG3B, Fig3bResult, fig3b_modems, run_fig3b
+from .fig3c_collisions import PAPER_FIG3C, Fig3cResult, run_fig3c
+from .headline import HeadlineResult, run_headline
+from .table1 import run_table1
+
+__all__ = [
+    "DEFAULT_SEED",
+    "ExperimentTable",
+    "format_table",
+    "run_table1",
+    "run_fig3b",
+    "run_fig3c",
+    "run_headline",
+    "run_scaling",
+    "run_compression",
+    "run_kill_filters",
+    "run_edge_cloud",
+    "run_sic_depth",
+    "run_boundary",
+    "run_hopping",
+    "run_roc",
+    "run_compression_depth",
+    "run_overlap",
+    "run_battery",
+    "run_universal_growth",
+    "Fig3bResult",
+    "Fig3cResult",
+    "HeadlineResult",
+    "PAPER_FIG3B",
+    "PAPER_FIG3C",
+    "fig3b_modems",
+]

@@ -1,0 +1,56 @@
+"""Shared experiment plumbing: result records and table printing.
+
+Every experiment module exposes a ``run_*`` function returning a
+dataclass with the measured rows plus the paper's reference values, and
+a ``format_table`` helper so benchmarks and the CLI print identical
+output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentTable", "format_table", "DEFAULT_SEED"]
+
+DEFAULT_SEED = 20181115  # HotNets'18 presentation day
+
+
+@dataclass
+class ExperimentTable:
+    """A generic named table of experiment rows.
+
+    Attributes:
+        title: Table/figure identifier (e.g. ``"Figure 3(b)"``).
+        columns: Column headers.
+        rows: Row values (strings or numbers).
+        notes: Free-form caveats printed under the table.
+    """
+
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 100 else f"{value:.1f}"
+    return str(value)
+
+
+def format_table(table: ExperimentTable) -> str:
+    """Render a table as aligned monospace text."""
+    cells = [[_fmt(v) for v in row] for row in table.rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(table.columns)
+    ]
+    lines = [table.title, "=" * len(table.title)]
+    header = "  ".join(h.ljust(w) for h, w in zip(table.columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    for note in table.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

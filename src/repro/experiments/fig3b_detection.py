@@ -1,0 +1,160 @@
+"""F3b — Figure 3(b): ratio of packets detected vs SNR band.
+
+Reproduces the paper's packet-detection comparison: energy detection,
+GalioT's universal preamble, and the optimal per-technology correlation
+bank, across SNR bands from -30 dB to +20 dB.
+
+Methodology notes (documented deviations):
+
+* SNR is **capture-band** (per-sample over the 1 MHz capture), matching
+  the paper's procedure of injecting AWGN onto RTL-SDR traces.
+* Radio configurations use longer (standard-legal) preambles than the
+  bare minimum — LoRa with 32 preamble chirps, Z-Wave with a 24-byte
+  preamble run — because correlation processing gain is what makes the
+  paper's sub-noise detection claims physically reachable. The XBee
+  profile keeps its 4-byte preamble, which is why (as in the paper) the
+  second packet of a collision is the one most often missed at very low
+  SNR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gateway.detection import EnergyDetector, PreambleBankDetector, match_events
+from ..gateway.universal import UniversalPreamble, UniversalPreambleDetector
+from ..net.scene import SceneBuilder
+from ..phy.base import Modem
+from ..phy.registry import create_modem
+from .common import DEFAULT_SEED, ExperimentTable
+
+__all__ = ["Fig3bResult", "fig3b_modems", "run_fig3b", "PAPER_FIG3B"]
+
+#: SNR bands of the paper's x-axis.
+SNR_BANDS = [(-30, -20), (-20, -10), (-10, 0), (0, 10), (10, 20)]
+
+#: Approximate values read off the paper's Figure 3(b) bars and text
+#: ("84% to 0.04% below 0 dB", "62% even at -30 dB", "universal close to
+#: optimum above 0 dB"). Keys: detector -> per-band ratio.
+PAPER_FIG3B = {
+    "energy": [0.0004, 0.0004, 0.40, 0.84, 0.84],
+    "universal": [0.62, 0.70, 0.85, 0.95, 0.97],
+    "optimal": [0.70, 0.80, 0.90, 0.97, 0.99],
+}
+
+
+def fig3b_modems() -> list[Modem]:
+    """The detection-experiment radio configuration (see module doc)."""
+    return [
+        create_modem("lora", preamble_len=32),
+        create_modem("xbee"),
+        create_modem("zwave", preamble_bytes=24),
+    ]
+
+
+@dataclass
+class Fig3bResult:
+    """Measured detection ratios per band per detector."""
+
+    bands: list[tuple[float, float]]
+    ratios: dict[str, list[float]] = field(default_factory=dict)
+    false_alarms: dict[str, int] = field(default_factory=dict)
+
+    def table(self) -> ExperimentTable:
+        """Paper-vs-measured table for this figure."""
+        table = ExperimentTable(
+            title="Figure 3(b): ratio of packets detected vs SNR band",
+            columns=[
+                "SNR band (dB)",
+                "energy",
+                "universal",
+                "optimal",
+                "paper:energy",
+                "paper:universal",
+                "paper:optimal",
+            ],
+        )
+        for i, (lo, hi) in enumerate(self.bands):
+            table.rows.append(
+                [
+                    f"{lo:+.0f}..{hi:+.0f}",
+                    self.ratios["energy"][i],
+                    self.ratios["universal"][i],
+                    self.ratios["optimal"][i],
+                    PAPER_FIG3B["energy"][i],
+                    PAPER_FIG3B["universal"][i],
+                    PAPER_FIG3B["optimal"][i],
+                ]
+            )
+        table.notes.append(
+            "SNR is capture-band (AWGN injected on the 1 MHz trace, as in "
+            "the paper); paper columns are approximate bar readings"
+        )
+        return table
+
+
+def run_fig3b(
+    trials_per_band: int = 3,
+    seed: int = DEFAULT_SEED,
+    scene_s: float = 0.45,
+) -> Fig3bResult:
+    """Run the detection comparison.
+
+    Args:
+        trials_per_band: Scenes rendered per SNR band (5 packets each,
+            including one deliberate collision pair).
+        seed: RNG seed.
+        scene_s: Scene duration in seconds.
+    """
+    fs = 1e6
+    modems = fig3b_modems()
+    by_name = {m.name: m for m in modems}
+    universal = UniversalPreamble.build(modems, fs)
+    detectors = {
+        "energy": EnergyDetector(),
+        "universal": UniversalPreambleDetector(universal),
+        "optimal": PreambleBankDetector(modems, fs),
+    }
+    gates = {
+        "energy": 1024,
+        "universal": universal.length,
+        "optimal": max(len(t) for t in detectors["optimal"].templates.values()),
+    }
+    rng = np.random.default_rng(seed)
+    result = Fig3bResult(bands=SNR_BANDS, false_alarms={k: 0 for k in detectors})
+    for name in detectors:
+        result.ratios[name] = []
+    layout = [
+        ("lora", 0.06),
+        ("xbee", 0.30),
+        ("zwave", 0.54),
+        ("lora", 0.72),  # deliberate collision pair:
+        ("xbee", 0.75),  # xbee starts inside the lora frame
+    ]
+    for lo, hi in SNR_BANDS:
+        hits = {k: 0 for k in detectors}
+        total = 0
+        for _ in range(trials_per_band):
+            builder = SceneBuilder(fs, scene_s)
+            for tech, frac in layout:
+                snr = float(rng.uniform(lo, hi))
+                builder.add_packet(
+                    by_name[tech],
+                    bytes(rng.integers(0, 256, 14, dtype=np.uint8)),
+                    start=int(frac * scene_s * fs),
+                    snr_db=snr,
+                    rng=rng,
+                    snr_mode="capture",
+                )
+            capture, truth = builder.render(rng)
+            total += len(truth.packets)
+            for name, detector in detectors.items():
+                events = detector.detect(capture)
+                detected, fas = match_events(events, truth.packets, gates[name])
+                hits[name] += len(detected)
+                result.false_alarms[name] += len(fas)
+        for name in detectors:
+            result.ratios[name].append(hits[name] / max(total, 1))
+    return result

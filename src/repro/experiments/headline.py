@@ -1,0 +1,120 @@
+"""H1-H3 — the paper's headline numbers.
+
+* **H1** (Sec. 1): "Our universal preamble detects 50.89% more packets
+  compared to energy detection at SNRs below -10 dB."
+* **H2** (Sec. 1 / Sec. 8): "Our collision decoding algorithm improves
+  throughput by 7.46 times as that provided by successive interference
+  cancellation" / "an increase in average throughput by 745.96%".
+* **H3** (Sec. 7): energy detection collapses from 84% to 0.04% below
+  0 dB; the universal preamble maintains 62% detection at -30 dB; kill
+  filters gain 818.36% at high SNR and 532.4% at low SNR.
+
+Each headline is recomputed from the same machinery as Figures 3(b)
+and 3(c) and reported paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .common import DEFAULT_SEED, ExperimentTable
+from .fig3b_detection import Fig3bResult, run_fig3b
+from .fig3c_collisions import PAPER_FIG3C, Fig3cResult, run_fig3c
+
+__all__ = ["HeadlineResult", "run_headline"]
+
+
+@dataclass
+class HeadlineResult:
+    """Measured headline metrics next to the paper's claims."""
+
+    fig3b: Fig3bResult
+    fig3c: Fig3cResult
+
+    @property
+    def h1_extra_detection(self) -> float:
+        """Universal-over-energy detection advantage below -10 dB.
+
+        The paper phrases this as "+50.89% more packets"; with energy
+        detection at ~0 below -10 dB the measured ratio is reported as
+        the absolute detection-ratio difference.
+        """
+        low_bands = [i for i, (lo, hi) in enumerate(self.fig3b.bands) if hi <= -10]
+        uni = sum(self.fig3b.ratios["universal"][i] for i in low_bands)
+        eng = sum(self.fig3b.ratios["energy"][i] for i in low_bands)
+        n = max(len(low_bands), 1)
+        return (uni - eng) / n
+
+    @property
+    def h2_throughput_gain(self) -> float:
+        """Average GalioT/SIC throughput ratio."""
+        return self.fig3c.average_gain()
+
+    def table(self) -> ExperimentTable:
+        """Paper-vs-measured headline table."""
+        table = ExperimentTable(
+            title="Headline claims (paper vs measured)",
+            columns=["claim", "paper", "measured"],
+        )
+        table.rows.append(
+            [
+                "H1 extra packets detected below -10 dB (universal - energy)",
+                "+50.89%",
+                f"+{100 * self.h1_extra_detection:.1f}%",
+            ]
+        )
+        table.rows.append(
+            [
+                "H2 avg throughput gain over SIC",
+                f"x{PAPER_FIG3C['average']:.2f}",
+                f"x{self.h2_throughput_gain:.2f}",
+            ]
+        )
+        table.rows.append(
+            [
+                "H3 energy detection above 0 dB",
+                "84%",
+                f"{100 * self.fig3b.ratios['energy'][3]:.0f}%",
+            ]
+        )
+        table.rows.append(
+            [
+                "H3 energy detection below 0 dB",
+                "0.04%",
+                f"{100 * max(self.fig3b.ratios['energy'][i] for i in (0, 1)):.2f}%",
+            ]
+        )
+        table.rows.append(
+            [
+                "H3 universal detection in [-30,-20) dB",
+                "62% (at -30)",
+                f"{100 * self.fig3b.ratios['universal'][0]:.0f}%",
+            ]
+        )
+        table.rows.append(
+            [
+                "H3 throughput gain, high SNR",
+                f"x{PAPER_FIG3C['High']:.2f}",
+                f"x{self.fig3c.gain('High'):.2f}",
+            ]
+        )
+        table.rows.append(
+            [
+                "H3 throughput gain, low SNR",
+                f"x{PAPER_FIG3C['Low']:.2f}",
+                f"x{self.fig3c.gain('Low'):.2f}",
+            ]
+        )
+        return table
+
+
+def run_headline(
+    seed: int = DEFAULT_SEED,
+    detection_trials: int = 3,
+    episodes_per_bucket: int = 8,
+) -> HeadlineResult:
+    """Recompute every headline from the figure machinery."""
+    return HeadlineResult(
+        fig3b=run_fig3b(trials_per_band=detection_trials, seed=seed),
+        fig3c=run_fig3c(episodes_per_bucket=episodes_per_bucket, seed=seed),
+    )

@@ -1,0 +1,66 @@
+"""The GalioT gateway: RTL-SDR model, universal detection, ship-to-cloud.
+
+Pipeline (Figure 2 of the paper):
+
+    RtlSdrModel -> UniversalPreambleDetector -> SegmentExtractor
+        -> EdgeDecoder (optional) -> SegmentCodec -> BackhaulLink
+"""
+
+from .backhaul import BackhaulLink, Shipment
+from .channelizer import Channelizer
+from .compression import CompressedSegment, CompressionStats, SegmentCodec
+from .detection import (
+    EnergyDetector,
+    PreambleBankDetector,
+    cfar_threshold,
+    detection_ratio,
+    match_events,
+    matched_filter_track,
+    packet_detected,
+)
+from .edge import EdgeDecoder, EdgeOutcome
+from .extractor import SegmentExtractor, max_frame_samples
+from .gateway import GalioTGateway, GatewayReport
+from .monitor import OccupancyMonitor, TechnologyStats
+from .hopping import (
+    ChannelPlan,
+    DwellResult,
+    HopScheduler,
+    HoppingFrontend,
+    run_hopping_campaign,
+)
+from .rtlsdr import RtlSdrConfig, RtlSdrModel
+from .universal import UniversalPreamble, UniversalPreambleDetector
+
+__all__ = [
+    "BackhaulLink",
+    "Shipment",
+    "Channelizer",
+    "CompressedSegment",
+    "CompressionStats",
+    "SegmentCodec",
+    "EnergyDetector",
+    "PreambleBankDetector",
+    "cfar_threshold",
+    "matched_filter_track",
+    "match_events",
+    "packet_detected",
+    "detection_ratio",
+    "EdgeDecoder",
+    "EdgeOutcome",
+    "SegmentExtractor",
+    "max_frame_samples",
+    "GalioTGateway",
+    "GatewayReport",
+    "OccupancyMonitor",
+    "TechnologyStats",
+    "ChannelPlan",
+    "HoppingFrontend",
+    "HopScheduler",
+    "DwellResult",
+    "run_hopping_campaign",
+    "RtlSdrConfig",
+    "RtlSdrModel",
+    "UniversalPreamble",
+    "UniversalPreambleDetector",
+]

@@ -1,0 +1,92 @@
+"""Backhaul link model (the gateway's home cable/Ethernet uplink).
+
+A simple FIFO serialization model: shipments queue behind each other at
+the configured rate and arrive after a fixed propagation latency. The
+model answers the paper's Sec. 6 question quantitatively: raw-stream
+shipping needs tens of Mbit/s forever, detect-and-ship needs bursts
+proportional to channel occupancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CapacityError, ConfigurationError
+
+__all__ = ["Shipment", "BackhaulLink"]
+
+
+@dataclass(frozen=True)
+class Shipment:
+    """One completed transfer over the link."""
+
+    submitted_at: float
+    n_bits: int
+    started_at: float
+    arrived_at: float
+
+    @property
+    def delay(self) -> float:
+        """Total submit-to-arrival delay in seconds."""
+        return self.arrived_at - self.submitted_at
+
+
+@dataclass
+class BackhaulLink:
+    """Rate-limited FIFO uplink.
+
+    Attributes:
+        rate_bps: Serialization rate in bit/s.
+        latency_s: One-way propagation latency.
+        max_queue_s: Refuse shipments once the queue backlog exceeds
+            this many seconds of serialization (models a bounded buffer
+            on the Raspberry Pi).
+    """
+
+    rate_bps: float = 10e6
+    latency_s: float = 20e-3
+    max_queue_s: float = 30.0
+    shipments: list[Shipment] = field(default_factory=list)
+    _busy_until: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise ConfigurationError("rate_bps must be positive")
+        if self.latency_s < 0:
+            raise ConfigurationError("latency_s must be >= 0")
+
+    def ship(self, n_bits: int, at_time: float) -> Shipment:
+        """Submit ``n_bits`` at ``at_time``; returns the arrival record.
+
+        Raises:
+            CapacityError: when the queue backlog exceeds the bound.
+        """
+        if n_bits < 0:
+            raise ConfigurationError("n_bits must be >= 0")
+        start = max(at_time, self._busy_until)
+        backlog = start - at_time
+        if backlog > self.max_queue_s:
+            raise CapacityError(
+                f"backhaul backlog {backlog:.1f}s exceeds {self.max_queue_s:.1f}s"
+            )
+        done = start + n_bits / self.rate_bps
+        self._busy_until = done
+        shipment = Shipment(
+            submitted_at=at_time,
+            n_bits=n_bits,
+            started_at=start,
+            arrived_at=done + self.latency_s,
+        )
+        self.shipments.append(shipment)
+        return shipment
+
+    @property
+    def total_bits(self) -> int:
+        """All bits shipped so far."""
+        return sum(s.n_bits for s in self.shipments)
+
+    def utilization(self, over_seconds: float) -> float:
+        """Average offered load as a fraction of the link rate."""
+        if over_seconds <= 0:
+            raise ConfigurationError("over_seconds must be positive")
+        return self.total_bits / (self.rate_bps * over_seconds)

@@ -1,0 +1,268 @@
+"""Packet detectors: the energy baseline and the optimal preamble bank.
+
+Three detectors are compared in Figure 3(b) of the paper:
+
+* **Energy detection** (:class:`EnergyDetector`) — the scheme used by
+  prior multi-technology work: a moving-average power threshold over the
+  estimated noise floor. Cheap, but blind to packets below the floor.
+* **Per-technology correlation** (:class:`PreambleBankDetector`) — the
+  optimal scheme: correlate with every technology's own preamble and
+  take the per-technology peaks. Detection cost grows linearly with the
+  number of technologies.
+* **Universal preamble** (:mod:`repro.gateway.universal`) — GalioT's
+  single-template detector, implemented in its own module.
+
+All detectors share a constant-false-alarm-rate (CFAR) thresholding
+scheme: the decision threshold is a robust location/scale estimate of
+the *score* distribution (median + k·MAD), so the same ``k`` works at
+any absolute noise level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dsp.correlation import cross_correlate, find_peaks_above
+from ..dsp.filters import moving_average
+from ..dsp.resample import to_rate
+from ..errors import ConfigurationError
+from ..phy.base import Modem
+from ..types import DetectionEvent
+
+__all__ = [
+    "cfar_threshold",
+    "matched_filter_track",
+    "EnergyDetector",
+    "PreambleBankDetector",
+    "match_events",
+    "packet_detected",
+    "detection_ratio",
+]
+
+
+def cfar_threshold(scores: np.ndarray, k: float) -> float:
+    """Robust threshold ~ (noise mean + k * noise std) of the score track.
+
+    Location and scale come from the 10th/25th percentiles, so the
+    estimate survives even when packets occupy up to ~75% of the
+    capture — which happens once an ultra-narrow-band technology
+    (SigFox frames last seconds) is in the band. For a clean Gaussian
+    track the formula reduces to ``mean + k * std``.
+    """
+    p10 = float(np.percentile(scores, 10))
+    p25 = float(np.percentile(scores, 25))
+    scale = max(p25 - p10, 1e-30)
+    # Calibrated on the Rayleigh envelope of a matched filter against
+    # noise (p10 = 0.459 s, p25 = 0.759 s, median = 1.177 s,
+    # MAD = 0.448 s): this reproduces the classic median + 1.4826 k MAD
+    # threshold while only looking at the lowest quartile.
+    return p10 + (2.39 + 2.21 * k) * scale
+
+
+def matched_filter_track(
+    x: np.ndarray, template: np.ndarray, block: int | None = None
+) -> np.ndarray:
+    """Matched-filter magnitude track, normalized by the template norm.
+
+    Unlike :func:`repro.dsp.correlation.normalized_correlation`, the
+    score is *not* divided by the local window energy. For sub-noise
+    detection this is the optimal statistic, and it does not penalize
+    templates with zero-padded tails (the universal preamble pads every
+    representative to the longest one). The CFAR threshold supplies the
+    noise calibration that local normalization would otherwise provide.
+
+    Args:
+        x: Received samples.
+        template: Reference waveform.
+        block: When set, correlate coherently per ``block`` samples and
+            combine magnitudes non-coherently (CFO tolerance).
+    """
+    norm = float(np.sqrt(np.sum(np.abs(template) ** 2)))
+    if norm <= 0:
+        raise ConfigurationError("template has zero energy")
+    if block is None:
+        return np.abs(cross_correlate(x, template)) / norm
+    n_blocks = max(len(template) // block, 1)
+    out_len = len(x) - len(template) + 1
+    if out_len <= 0:
+        raise ConfigurationError("template longer than signal")
+    acc = np.zeros(out_len)
+    for b in range(n_blocks):
+        seg = template[b * block : (b + 1) * block]
+        if len(seg) == 0:
+            break
+        corr = np.abs(cross_correlate(x, seg))
+        acc += corr[b * block : b * block + out_len] ** 2
+    return np.sqrt(acc) / norm
+
+
+@dataclass
+class EnergyDetector:
+    """Moving-average energy detector (the baseline of [14] in the paper).
+
+    Attributes:
+        window: Averaging window in samples.
+        k: CFAR factor applied to the smoothed power track.
+        min_distance: Minimum spacing between reported events.
+    """
+
+    window: int = 256
+    k: float = 6.0
+    min_distance: int = 512
+
+    name: str = "energy"
+
+    def scores(self, samples: np.ndarray) -> np.ndarray:
+        """Smoothed power track."""
+        return moving_average(np.abs(samples) ** 2, self.window)
+
+    def detect(self, samples: np.ndarray) -> list[DetectionEvent]:
+        """Events at the rising edge of every above-threshold region."""
+        if len(samples) < self.window:
+            return []
+        track = self.scores(samples)
+        threshold = cfar_threshold(track, self.k)
+        above = track > threshold
+        # Rising edges: index i where above[i] and not above[i-1].
+        edges = np.flatnonzero(above & ~np.roll(above, 1))
+        if above[0]:
+            edges = np.unique(np.concatenate(([0], edges)))
+        events = []
+        last = -self.min_distance
+        for idx in edges:
+            if idx - last < self.min_distance:
+                continue
+            events.append(
+                DetectionEvent(
+                    index=int(idx),
+                    score=float(track[idx] / max(threshold, 1e-30)),
+                    detector=self.name,
+                )
+            )
+            last = idx
+        return events
+
+
+class PreambleBankDetector:
+    """Optimal per-technology preamble correlation.
+
+    Args:
+        modems: The technologies to detect.
+        fs: Capture sample rate (modem preambles are resampled to it).
+        k: CFAR factor on each technology's score track.
+        min_distance: Minimum spacing between events of one technology.
+        block: Coherent block length for CFO-tolerant correlation
+            (``None`` = fully coherent).
+    """
+
+    name = "preamble-bank"
+
+    def __init__(
+        self,
+        modems: list[Modem],
+        fs: float,
+        k: float = 7.0,
+        min_distance: int = 1024,
+        block: int | None = None,
+        max_template_s: float = 0.05,
+    ):
+        if not modems:
+            raise ConfigurationError("at least one modem is required")
+        self.fs = float(fs)
+        self.k = float(k)
+        self.min_distance = int(min_distance)
+        self.block = block
+        cap = max(int(max_template_s * fs), 1)
+        self.templates = {
+            m.name: to_rate(m.preamble_waveform(), m.sample_rate, self.fs)[:cap]
+            for m in modems
+        }
+
+    @property
+    def n_correlations(self) -> int:
+        """Template correlations per capture — grows with the bank size."""
+        return len(self.templates)
+
+    def _score(self, samples: np.ndarray, template: np.ndarray) -> np.ndarray:
+        return matched_filter_track(samples, template, self.block)
+
+    def detect(self, samples: np.ndarray) -> list[DetectionEvent]:
+        """Per-technology correlation peaks above each CFAR threshold."""
+        events: list[DetectionEvent] = []
+        for name, template in self.templates.items():
+            if len(template) > len(samples):
+                continue
+            scores = self._score(samples, template)
+            threshold = cfar_threshold(scores, self.k)
+            for idx in find_peaks_above(scores, threshold, self.min_distance):
+                events.append(
+                    DetectionEvent(
+                        index=idx,
+                        score=float(scores[idx]),
+                        detector=self.name,
+                        technology=name,
+                    )
+                )
+        return sorted(events, key=lambda e: e.index)
+
+
+def match_events(
+    events: list[DetectionEvent],
+    packets: list,
+    gate: int,
+) -> tuple[set[int], list[DetectionEvent]]:
+    """Assign detector events to ground-truth packets.
+
+    Each event is credited to the packet whose *start* is nearest, as
+    long as the event lies inside that packet's gate
+    ``[start - gate, end)``. Periodic preambles (0x55 runs, repeated
+    upchirps) produce correlation sidelobes at symbol-multiple offsets,
+    so the gate must span the detection template; nearest-start
+    assignment keeps a collision's two packets from crediting each
+    other.
+
+    Args:
+        events: Detector output.
+        packets: Ground-truth :class:`~repro.types.PacketTruth` records.
+        gate: Pre-start slack in samples (usually the template length).
+
+    Returns:
+        ``(detected_packet_ids, false_alarms)``.
+    """
+    detected: set[int] = set()
+    false_alarms: list[DetectionEvent] = []
+    for event in events:
+        best = None
+        best_dist = None
+        for p in packets:
+            if p.start - gate <= event.index < p.end:
+                dist = abs(event.index - p.start)
+                if best_dist is None or dist < best_dist:
+                    best, best_dist = p, dist
+        if best is None:
+            false_alarms.append(event)
+        else:
+            detected.add(best.packet_id)
+    return detected, false_alarms
+
+
+def packet_detected(
+    events: list[DetectionEvent], start: int, end: int, tolerance: int = 0
+) -> bool:
+    """Whether any event falls within a single packet's extent."""
+    lo = start - tolerance
+    return any(lo <= e.index < end for e in events)
+
+
+def detection_ratio(
+    events: list[DetectionEvent],
+    packets: list,
+    gate: int = 1024,
+) -> float:
+    """Fraction of ground-truth packets credited with a detection."""
+    if not packets:
+        return float("nan")
+    detected, _ = match_events(events, packets, gate)
+    return len(detected) / len(packets)

@@ -1,0 +1,80 @@
+"""Edge decoding: try locally, ship to the cloud only on failure.
+
+Sec. 4 of the paper: "*I/Q samples are pushed to the edge for decoding
+individual technologies (assuming no collisions) and shipped to the
+cloud only if decoding fails.*" The edge runs the plain single-frame
+demodulators — no kill filters, no SIC — so an uncollided segment is
+resolved in one pass while a same-power collision falls through to the
+cloud.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dsp.resample import to_rate
+from ..errors import DecodeError, ReproError
+from ..phy.base import Modem
+from ..types import DecodeResult, Segment
+
+__all__ = ["EdgeOutcome", "EdgeDecoder"]
+
+
+@dataclass
+class EdgeOutcome:
+    """Result of the edge's attempt on one segment.
+
+    Attributes:
+        results: Frames recovered locally (CRC-clean only).
+        ship_to_cloud: Whether the segment still needs the cloud.
+    """
+
+    results: list[DecodeResult]
+    ship_to_cloud: bool
+
+
+class EdgeDecoder:
+    """Single-technology decode pass running on the gateway/edge node.
+
+    Args:
+        modems: Registered technologies.
+        fs: Capture sample rate of incoming segments.
+        ship_on_multi_detection: Treat segments whose detector found
+            more than one event as potential collisions and ship them
+            even if one frame decoded locally (the cloud may recover
+            the rest).
+    """
+
+    def __init__(
+        self,
+        modems: list[Modem],
+        fs: float,
+        ship_on_multi_detection: bool = True,
+    ):
+        self.modems = list(modems)
+        self.fs = float(fs)
+        self.ship_on_multi_detection = ship_on_multi_detection
+
+    def try_decode(self, segment: Segment) -> EdgeOutcome:
+        """Attempt a plain decode of every technology on the segment."""
+        results: list[DecodeResult] = []
+        for modem in self.modems:
+            try:
+                native = to_rate(segment.samples, self.fs, modem.sample_rate)
+                frame = modem.demodulate(native)
+            except ReproError:
+                continue
+            if frame.crc_ok:
+                results.append(
+                    DecodeResult(
+                        technology=modem.name,
+                        payload=frame.payload,
+                        ok=True,
+                        method="direct",
+                        start=frame.start,
+                    )
+                )
+        ship = not results
+        if self.ship_on_multi_detection and len(segment.detections) > len(results):
+            ship = True
+        return EdgeOutcome(results=results, ship_to_cloud=ship)

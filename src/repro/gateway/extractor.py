@@ -1,0 +1,100 @@
+"""Segment extraction: what actually gets shipped off the gateway.
+
+Per the paper (Sec. 4): "*We then conservatively ship samples
+corresponding to twice the maximum packet length across technologies
+around the detected preamble*". The extractor turns detection events
+into such segments and merges overlapping ones, so a collision is
+shipped as a single contiguous segment containing every colliding
+packet.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..phy.base import Modem
+from ..types import DetectionEvent, Segment
+
+__all__ = ["SegmentExtractor", "max_frame_samples"]
+
+
+def max_frame_samples(modems: list[Modem], fs: float, payload_len: int) -> int:
+    """Largest frame length across technologies, in capture samples."""
+    if not modems:
+        raise ConfigurationError("at least one modem is required")
+    return max(
+        math.ceil(m.frame_airtime(min(payload_len, m.max_payload)) * fs)
+        for m in modems
+    )
+
+
+class SegmentExtractor:
+    """Cuts ship-to-cloud segments around detection events.
+
+    Args:
+        modems: Registered technologies (to size the maximum packet).
+        fs: Capture sample rate.
+        typical_payload: Payload size used to bound the frame length.
+        span_factor: Segment length as a multiple of the maximum frame
+            (the paper ships 2x).
+        pre_fraction: Portion of the segment placed *before* the event
+            (detectors fire at the preamble, so most of the span goes
+            after it).
+    """
+
+    def __init__(
+        self,
+        modems: list[Modem],
+        fs: float,
+        typical_payload: int = 32,
+        span_factor: float = 2.0,
+        pre_fraction: float = 0.1,
+    ):
+        if span_factor <= 0:
+            raise ConfigurationError("span_factor must be positive")
+        if not 0 <= pre_fraction < 1:
+            raise ConfigurationError("pre_fraction must be in [0, 1)")
+        self.fs = float(fs)
+        self.max_frame = max_frame_samples(modems, fs, typical_payload)
+        self.span = math.ceil(span_factor * self.max_frame)
+        self.pre = math.ceil(self.span * pre_fraction)
+
+    def extract(
+        self, samples: np.ndarray, events: list[DetectionEvent]
+    ) -> list[Segment]:
+        """Cut (merged) segments around ``events``.
+
+        Returns:
+            Segments sorted by start; each carries the events it covers.
+        """
+        if not events:
+            return []
+        windows: list[tuple[int, int]] = []
+        for event in sorted(events, key=lambda e: e.index):
+            lo = max(event.index - self.pre, 0)
+            hi = min(event.index - self.pre + self.span, len(samples))
+            if windows and lo <= windows[-1][1]:
+                windows[-1] = (windows[-1][0], max(windows[-1][1], hi))
+            else:
+                windows.append((lo, hi))
+        segments = []
+        for lo, hi in windows:
+            covered = [e for e in events if lo <= e.index < hi]
+            segments.append(
+                Segment(
+                    start=lo,
+                    samples=samples[lo:hi].copy(),
+                    sample_rate=self.fs,
+                    detections=covered,
+                )
+            )
+        return segments
+
+    def shipped_fraction(self, segments: list[Segment], n_samples: int) -> float:
+        """Fraction of the capture that was shipped (backhaul proxy)."""
+        if n_samples <= 0:
+            raise ConfigurationError("n_samples must be positive")
+        return sum(s.length for s in segments) / n_samples

@@ -1,0 +1,113 @@
+"""Spectrum occupancy monitoring.
+
+A long-running gateway learns which technologies occupy its band and
+when — input for the hopping scheduler's priors, for capacity planning,
+and for the paper's "multi-technology wireless sensing" direction (a
+device's transmission pattern is itself a sensor reading).
+
+:class:`OccupancyMonitor` consumes detection events plus decode results
+over time and maintains per-technology duty-cycle and inter-arrival
+statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..types import DecodeResult
+
+__all__ = ["TechnologyStats", "OccupancyMonitor"]
+
+
+@dataclass
+class TechnologyStats:
+    """Running statistics for one technology.
+
+    Attributes:
+        frames: Frames observed.
+        airtime_s: Total airtime attributed to the technology.
+        arrivals_s: Timestamps of observed frames (for rate estimates).
+    """
+
+    frames: int = 0
+    airtime_s: float = 0.0
+    arrivals_s: list[float] = field(default_factory=list)
+
+    def mean_interarrival_s(self) -> float:
+        """Mean gap between frames (inf with fewer than two)."""
+        if len(self.arrivals_s) < 2:
+            return float("inf")
+        return float(np.mean(np.diff(sorted(self.arrivals_s))))
+
+
+class OccupancyMonitor:
+    """Aggregates decode results into band-occupancy statistics.
+
+    Args:
+        airtime_lookup: ``technology -> seconds`` for a typical frame,
+            used to attribute airtime (e.g. built from the registry's
+            modems at a typical payload size).
+    """
+
+    def __init__(self, airtime_lookup: dict[str, float]):
+        if not airtime_lookup:
+            raise ConfigurationError("airtime_lookup must not be empty")
+        self._airtimes = dict(airtime_lookup)
+        self.stats: dict[str, TechnologyStats] = {}
+        self._observed_s = 0.0
+
+    @classmethod
+    def from_modems(cls, modems, typical_payload: int = 16) -> "OccupancyMonitor":
+        """Build the airtime lookup from live modems."""
+        return cls(
+            {
+                m.name: m.frame_airtime(min(typical_payload, m.max_payload))
+                for m in modems
+            }
+        )
+
+    def observe(self, results: list[DecodeResult], at_time: float) -> None:
+        """Fold one capture's decode results into the statistics."""
+        for result in results:
+            if not result.ok:
+                continue
+            stats = self.stats.setdefault(result.technology, TechnologyStats())
+            stats.frames += 1
+            stats.airtime_s += self._airtimes.get(result.technology, 0.0)
+            stats.arrivals_s.append(at_time)
+
+    def advance(self, seconds: float) -> None:
+        """Account observed wall-clock time (for duty cycles)."""
+        if seconds < 0:
+            raise ConfigurationError("seconds must be >= 0")
+        self._observed_s += seconds
+
+    def duty_cycle(self, technology: str) -> float:
+        """Fraction of observed time the technology was on the air."""
+        if self._observed_s <= 0:
+            return 0.0
+        stats = self.stats.get(technology)
+        if stats is None:
+            return 0.0
+        return min(stats.airtime_s / self._observed_s, 1.0)
+
+    def busiest(self) -> str | None:
+        """Technology with the largest attributed airtime."""
+        if not self.stats:
+            return None
+        return max(self.stats, key=lambda t: self.stats[t].airtime_s)
+
+    def summary(self) -> list[tuple[str, int, float, float]]:
+        """Rows of ``(technology, frames, duty_cycle, mean_gap_s)``."""
+        return [
+            (
+                tech,
+                s.frames,
+                self.duty_cycle(tech),
+                s.mean_interarrival_s(),
+            )
+            for tech, s in sorted(self.stats.items())
+        ]

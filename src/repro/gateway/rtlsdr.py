@@ -1,0 +1,118 @@
+"""RTL-SDR front-end model.
+
+The paper's gateway is a ~10$ RTL-SDR dongle: an 8-bit ADC behind a
+consumer tuner, capturing 1 MHz of complex baseband. This model applies
+the impairments that matter for detection and joint decoding, in the
+order they occur in the real signal path:
+
+    tuner CFO (crystal ppm) -> IQ imbalance -> DC offset
+    -> front-end thermal noise -> AGC scaling -> 8-bit quantization
+
+The output is what the Raspberry Pi sees and what the gateway's
+detectors operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dsp.impairments import (
+    apply_cfo,
+    apply_dc_offset,
+    apply_iq_imbalance,
+    cfo_from_ppm,
+    quantize,
+)
+from ..errors import ConfigurationError
+
+__all__ = ["RtlSdrConfig", "RtlSdrModel"]
+
+
+@dataclass(frozen=True)
+class RtlSdrConfig:
+    """Front-end parameters.
+
+    Attributes:
+        sample_rate: Complex capture rate (the paper uses 1 MHz).
+        carrier_hz: Tuned carrier (868 MHz ISM band).
+        adc_bits: ADC resolution (8 for the RTL2832U).
+        ppm: Crystal frequency error in parts-per-million.
+        iq_gain_db: IQ amplitude imbalance.
+        iq_phase_deg: IQ quadrature error.
+        dc_offset: Residual DC as a fraction of full scale.
+        noise_floor: Added front-end noise power (0 to disable; scenes
+            usually carry their own channel noise already).
+        agc_headroom_db: Backoff between the signal's RMS and ADC full
+            scale; models the dongle's gain staging.
+    """
+
+    sample_rate: float = 1e6
+    carrier_hz: float = 868e6
+    adc_bits: int = 8
+    ppm: float = 0.0
+    iq_gain_db: float = 0.0
+    iq_phase_deg: float = 0.0
+    dc_offset: complex = 0.0
+    noise_floor: float = 0.0
+    agc_headroom_db: float = 12.0
+
+    def __post_init__(self) -> None:
+        if self.sample_rate <= 0:
+            raise ConfigurationError("sample_rate must be positive")
+        if self.adc_bits < 1:
+            raise ConfigurationError("adc_bits must be >= 1")
+        if self.agc_headroom_db < 0:
+            raise ConfigurationError("agc_headroom_db must be >= 0")
+
+
+class RtlSdrModel:
+    """Applies the RTL-SDR signal path to a clean baseband stream."""
+
+    def __init__(self, config: RtlSdrConfig | None = None):
+        self.config = config or RtlSdrConfig()
+
+    @property
+    def cfo_hz(self) -> float:
+        """Tuner CFO implied by the configured ppm error."""
+        return cfo_from_ppm(self.config.ppm, self.config.carrier_hz)
+
+    def capture(
+        self, x: np.ndarray, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Run ``x`` through the modelled front end.
+
+        Args:
+            x: Clean complex baseband at ``config.sample_rate``.
+            rng: Needed only when ``config.noise_floor`` > 0.
+
+        Returns:
+            The quantized capture, scaled back so sample values are
+            comparable with the input (the AGC gain is undone after
+            quantization, leaving only quantization error and clipping).
+        """
+        cfg = self.config
+        y = x
+        if cfg.ppm:
+            y = apply_cfo(y, self.cfo_hz, cfg.sample_rate)
+        if cfg.iq_gain_db or cfg.iq_phase_deg:
+            y = apply_iq_imbalance(y, cfg.iq_gain_db, cfg.iq_phase_deg)
+        if cfg.noise_floor > 0:
+            if rng is None:
+                raise ConfigurationError("rng required when noise_floor > 0")
+            scale = np.sqrt(cfg.noise_floor / 2)
+            y = y + rng.normal(scale=scale, size=len(y)) + 1j * rng.normal(
+                scale=scale, size=len(y)
+            )
+        rms = float(np.sqrt(np.mean(np.abs(y) ** 2))) if len(y) else 0.0
+        if rms <= 0:
+            return np.zeros_like(x)
+        full_scale = rms * (10 ** (cfg.agc_headroom_db / 20))
+        if cfg.dc_offset:
+            y = apply_dc_offset(y, cfg.dc_offset * full_scale)
+        return quantize(y, cfg.adc_bits, full_scale)
+
+    def bits_per_second_raw(self) -> float:
+        """Backhaul cost of shipping the raw stream (2 rails x adc_bits)."""
+        return self.config.sample_rate * 2 * self.config.adc_bits

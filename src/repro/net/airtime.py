@@ -1,0 +1,30 @@
+"""Airtime accounting helpers.
+
+Thin wrappers that convert between payload sizes, native-rate sample
+counts and capture-rate sample counts. Centralized here because the
+scene composer, the MAC model and the throughput experiments must all
+agree on how long a frame occupies the channel.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..phy.base import Modem
+
+__all__ = ["frame_airtime", "frame_samples_at", "goodput_bits"]
+
+
+def frame_airtime(modem: Modem, payload_len: int) -> float:
+    """Frame duration in seconds (delegates to the modem)."""
+    return modem.frame_airtime(payload_len)
+
+
+def frame_samples_at(modem: Modem, payload_len: int, fs: float) -> int:
+    """Samples a frame occupies in a capture at rate ``fs``."""
+    return math.ceil(frame_airtime(modem, payload_len) * fs)
+
+
+def goodput_bits(payload_len: int) -> int:
+    """Useful (MAC payload) bits delivered by one successful frame."""
+    return 8 * payload_len

@@ -1,0 +1,90 @@
+"""IoT end-device model.
+
+The paper's core observation about IoT traffic: devices are low-power,
+duty-cycled, and simply "wake up and transmit" — no carrier sensing, no
+coordination. A :class:`Device` bundles the technology (a modem), a
+payload generator, a mean transmit interval and the energy bookkeeping
+used by the battery-drain results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..phy.base import Modem
+
+__all__ = ["EnergyProfile", "Device"]
+
+
+@dataclass(frozen=True)
+class EnergyProfile:
+    """Per-device energy parameters (coin-cell class defaults).
+
+    Attributes:
+        tx_power_w: Power drawn while transmitting (radio + MCU).
+        sleep_power_w: Power drawn while sleeping.
+        battery_j: Usable battery energy (a CR2032 is ~2.4 kJ).
+    """
+
+    tx_power_w: float = 0.12
+    sleep_power_w: float = 10e-6
+    battery_j: float = 2400.0
+
+    def tx_energy(self, airtime_s: float) -> float:
+        """Energy consumed by one transmission."""
+        return self.tx_power_w * airtime_s
+
+
+@dataclass
+class Device:
+    """One duty-cycled IoT transmitter.
+
+    Attributes:
+        device_id: Unique identifier.
+        technology: Registry name of its radio technology.
+        modem: The PHY modem used to modulate frames.
+        mean_interval_s: Mean time between wake-ups (Poisson process).
+        payload_range: Inclusive (min, max) payload size in bytes.
+        snr_db: In-band SNR at which the gateway receives this device.
+        energy: Energy profile for battery accounting.
+    """
+
+    device_id: int
+    technology: str
+    modem: Modem
+    mean_interval_s: float = 1.0
+    payload_range: tuple[int, int] = (8, 24)
+    snr_db: float = 10.0
+    energy: EnergyProfile = field(default_factory=EnergyProfile)
+
+    def __post_init__(self) -> None:
+        lo, hi = self.payload_range
+        if not 0 <= lo <= hi:
+            raise ConfigurationError("payload_range must satisfy 0 <= lo <= hi")
+        if hi > self.modem.max_payload:
+            raise ConfigurationError(
+                f"payload_range upper bound {hi} exceeds the modem limit "
+                f"{self.modem.max_payload}"
+            )
+        if self.mean_interval_s <= 0:
+            raise ConfigurationError("mean_interval_s must be positive")
+
+    def draw_payload(self, rng: np.random.Generator) -> bytes:
+        """Random payload of a size drawn from ``payload_range``."""
+        lo, hi = self.payload_range
+        size = int(rng.integers(lo, hi + 1))
+        return rng.integers(0, 256, size, dtype=np.uint8).tobytes()
+
+    def draw_arrivals(
+        self, duration_s: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Poisson wake-up times in [0, duration) — no carrier sensing."""
+        times = []
+        t = float(rng.exponential(self.mean_interval_s))
+        while t < duration_s:
+            times.append(t)
+            t += float(rng.exponential(self.mean_interval_s))
+        return np.array(times)

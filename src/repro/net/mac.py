@@ -1,0 +1,113 @@
+"""ALOHA-style MAC with retransmissions.
+
+Low-power IoT devices "wake up and transmit"; a frame that is not
+acknowledged (here: not decoded by the gateway/cloud) is retransmitted
+after a random backoff, up to a retry limit. The paper's energy argument
+lives here: every collision that the cloud *cannot* resolve turns into
+retransmissions, and retransmissions are what drain batteries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["PendingFrame", "MacState"]
+
+
+@dataclass
+class PendingFrame:
+    """A frame awaiting (re)transmission.
+
+    Attributes:
+        device_id: Transmitting device.
+        payload: MAC payload bytes.
+        attempts: Transmissions already made (0 = fresh frame).
+        frame_id: Unique id across the simulation.
+    """
+
+    device_id: int
+    payload: bytes
+    attempts: int = 0
+    frame_id: int = 0
+
+
+@dataclass
+class MacState:
+    """Per-simulation MAC bookkeeping.
+
+    Attributes:
+        max_attempts: Transmissions allowed per frame (1 = no retry).
+        queue: Frames waiting for their next attempt.
+        delivered: Count of frames eventually delivered.
+        dropped: Frames abandoned after ``max_attempts``.
+        transmissions: Total transmissions (the battery-relevant count).
+    """
+
+    max_attempts: int = 4
+    queue: list[PendingFrame] = field(default_factory=list)
+    delivered: int = 0
+    dropped: int = 0
+    transmissions: int = 0
+    _next_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+
+    def new_frame(self, device_id: int, payload: bytes) -> PendingFrame:
+        """Register a fresh frame for transmission."""
+        frame = PendingFrame(
+            device_id=device_id, payload=bytes(payload), frame_id=self._next_id
+        )
+        self._next_id += 1
+        self.queue.append(frame)
+        return frame
+
+    def take_round(
+        self, rng: np.random.Generator, tx_prob: float = 1.0
+    ) -> list[PendingFrame]:
+        """Frames transmitting this round.
+
+        Args:
+            rng: Random source.
+            tx_prob: Probability that a queued frame transmits this
+                round rather than backing off. Values below 1 randomize
+                retransmissions across rounds — without this, every
+                failed frame retries simultaneously and a congested
+                cell death-spirals (classic slotted-ALOHA behaviour).
+        """
+        if not 0 < tx_prob <= 1:
+            raise ConfigurationError("tx_prob must be in (0, 1]")
+        frames = []
+        held = []
+        for frame in self.queue:
+            if frame.attempts == 0 or rng.random() < tx_prob:
+                frames.append(frame)
+            else:
+                held.append(frame)
+        self.queue = held
+        rng.shuffle(frames)
+        self.transmissions += len(frames)
+        for frame in frames:
+            frame.attempts += 1
+        return frames
+
+    def report(self, frame: PendingFrame, delivered: bool) -> None:
+        """Feed back the decode outcome for one transmission."""
+        if delivered:
+            self.delivered += 1
+        elif frame.attempts >= self.max_attempts:
+            self.dropped += 1
+        else:
+            self.queue.append(frame)
+
+    @property
+    def attempts_per_delivery(self) -> float:
+        """Average transmissions per delivered frame (battery proxy)."""
+        if self.delivered == 0:
+            return float("inf")
+        return self.transmissions / self.delivered

@@ -1,0 +1,120 @@
+"""Propagation and deployment geometry.
+
+Turns a floor-plan deployment (device positions around a gateway) into
+the per-device SNRs the simulator consumes, with the standard
+log-distance path-loss model:
+
+    PL(d) = PL(d0) + 10 n log10(d / d0) + X_sigma
+
+where ``n`` is the path-loss exponent (~2 free space, 3-4 indoors) and
+``X_sigma`` is log-normal shadowing. Link budgets then convert TX power
+and noise figure into an in-band SNR per device.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..phy.base import Modem
+
+__all__ = ["PathLossModel", "LinkBudget", "Position", "deployment_snrs"]
+
+_BOLTZMANN_DBM = -173.8  # kT at 290 K in dBm/Hz
+
+
+@dataclass(frozen=True)
+class Position:
+    """A 2-D coordinate in metres."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Position") -> float:
+        """Euclidean distance in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+@dataclass(frozen=True)
+class PathLossModel:
+    """Log-distance path loss with optional log-normal shadowing.
+
+    Attributes:
+        exponent: Path-loss exponent ``n``.
+        reference_loss_db: PL(d0) — free-space loss at the reference
+            distance (~31 dB at 1 m for 868 MHz).
+        reference_m: Reference distance ``d0``.
+        shadowing_sigma_db: Standard deviation of the shadowing term.
+    """
+
+    exponent: float = 2.9
+    reference_loss_db: float = 31.0
+    reference_m: float = 1.0
+    shadowing_sigma_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.exponent <= 0 or self.reference_m <= 0:
+            raise ConfigurationError("exponent and reference must be positive")
+
+    def loss_db(
+        self, distance_m: float, rng: np.random.Generator | None = None
+    ) -> float:
+        """Path loss in dB at ``distance_m`` (clamped to the reference)."""
+        d = max(distance_m, self.reference_m)
+        loss = self.reference_loss_db + 10 * self.exponent * math.log10(
+            d / self.reference_m
+        )
+        if self.shadowing_sigma_db > 0:
+            if rng is None:
+                raise ConfigurationError("rng required for shadowing")
+            loss += float(rng.normal(scale=self.shadowing_sigma_db))
+        return loss
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Radio-link parameters for SNR computation.
+
+    Attributes:
+        tx_power_dbm: Transmit power (14 dBm is the 868 MHz ERP limit).
+        noise_figure_db: Receiver noise figure (RTL-SDR class: ~6 dB).
+        antenna_gain_db: Combined TX+RX antenna gains.
+    """
+
+    tx_power_dbm: float = 14.0
+    noise_figure_db: float = 6.0
+    antenna_gain_db: float = 0.0
+
+    def snr_db(self, path_loss_db: float, bandwidth_hz: float) -> float:
+        """In-band SNR for a link with the given loss and signal bandwidth.
+
+        Raises:
+            ConfigurationError: for a non-positive bandwidth.
+        """
+        if bandwidth_hz <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        rx_dbm = self.tx_power_dbm + self.antenna_gain_db - path_loss_db
+        noise_dbm = (
+            _BOLTZMANN_DBM + 10 * math.log10(bandwidth_hz) + self.noise_figure_db
+        )
+        return rx_dbm - noise_dbm
+
+
+def deployment_snrs(
+    gateway: Position,
+    devices: list[tuple[Position, Modem]],
+    path_loss: PathLossModel | None = None,
+    budget: LinkBudget | None = None,
+    rng: np.random.Generator | None = None,
+) -> list[float]:
+    """In-band SNR for each (position, modem) pair around a gateway."""
+    path_loss = path_loss or PathLossModel()
+    budget = budget or LinkBudget()
+    out = []
+    for position, modem in devices:
+        loss = path_loss.loss_db(gateway.distance_to(position), rng)
+        out.append(budget.snr_db(loss, modem.bandwidth))
+    return out

@@ -1,0 +1,49 @@
+"""PHY layer: modem interface, modulation cores and the Table-1 registry.
+
+Concrete technologies:
+
+* :class:`~repro.phy.lora.LoRaModem` — Chirp Spread Spectrum
+* :class:`~repro.phy.xbee.XBeeModem` — 2-GFSK (802.15.4-SUN style)
+* :class:`~repro.phy.zwave.ZWaveModem` — BFSK (ITU-T G.9959 R2)
+* :class:`~repro.phy.ble.BleModem` — GFSK (LE 1M) [extension]
+* :class:`~repro.phy.sigfox.SigfoxModem` — D-BPSK UNB [extension]
+* :class:`~repro.phy.oqpsk154.OQpsk154Modem` — O-QPSK DSSS [extension]
+"""
+
+from .base import FrameResult, Modem, ModulationClass
+from .ble import BleModem
+from .lora import LoRaModem
+from .oqpsk154 import OQpsk154Modem
+from .registry import (
+    PROTOTYPE_TECHNOLOGIES,
+    REGISTRY,
+    TechnologyInfo,
+    all_technologies,
+    create_modem,
+    get_info,
+    implemented_technologies,
+    table1_rows,
+)
+from .sigfox import SigfoxModem
+from .xbee import XBeeModem
+from .zwave import ZWaveModem
+
+__all__ = [
+    "FrameResult",
+    "Modem",
+    "ModulationClass",
+    "LoRaModem",
+    "XBeeModem",
+    "ZWaveModem",
+    "BleModem",
+    "SigfoxModem",
+    "OQpsk154Modem",
+    "TechnologyInfo",
+    "REGISTRY",
+    "PROTOTYPE_TECHNOLOGIES",
+    "all_technologies",
+    "implemented_technologies",
+    "get_info",
+    "create_modem",
+    "table1_rows",
+]

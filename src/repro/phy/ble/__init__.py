@@ -1,0 +1,5 @@
+"""BLE (LE 1M GFSK) PHY — extension technology."""
+
+from .modem import BleModem
+
+__all__ = ["BleModem"]

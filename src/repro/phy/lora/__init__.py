@@ -1,0 +1,6 @@
+"""LoRa (CSS) PHY."""
+
+from .modem import LoRaModem
+from . import encoding
+
+__all__ = ["LoRaModem", "encoding"]

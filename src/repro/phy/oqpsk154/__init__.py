@@ -1,0 +1,5 @@
+"""802.15.4 O-QPSK DSSS PHY — extension technology (KILL-CODES class)."""
+
+from .modem import OQpsk154Modem
+
+__all__ = ["OQpsk154Modem"]

@@ -1,0 +1,238 @@
+"""Technology registry — Table 1 of the paper, as code.
+
+Each entry records the technology's modulation family and sync/preamble
+structure exactly as the paper tabulates them, plus (when this package
+implements the PHY) a modem factory. The GalioT gateway and cloud are
+configured with a list of registry names; adding a technology is the
+"simple software update" the paper argues for.
+
+The three prototype technologies (LoRa, XBee, Z-Wave) are fully
+implemented; BLE, SigFox and the 802.15.4 O-QPSK family (Thread /
+WirelessHART / Weightless) are implemented extensions; WiFi HaLow and
+NB-IoT are registered metadata-only, matching the paper's "future work"
+rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import UnknownTechnologyError
+from .base import Modem, ModulationClass
+from .ble import BleModem
+from .lora import LoRaModem
+from .oqpsk154 import OQpsk154Modem
+from .sigfox import SigfoxModem
+from .xbee import XBeeModem
+from .zwave import ZWaveModem
+
+__all__ = [
+    "TechnologyInfo",
+    "REGISTRY",
+    "PROTOTYPE_TECHNOLOGIES",
+    "all_technologies",
+    "implemented_technologies",
+    "get_info",
+    "create_modem",
+    "table1_rows",
+]
+
+
+@dataclass(frozen=True)
+class TechnologyInfo:
+    """One row of Table 1.
+
+    Attributes:
+        name: Registry key.
+        display_name: Human-readable name as printed in the paper.
+        modulation: Modulation family (drives kill-filter choice).
+        modulation_text: The paper's modulation column, verbatim.
+        sync_text: The paper's "Sync" column, verbatim.
+        preamble_text: The paper's "Preamble" column, verbatim.
+        factory: Modem constructor, or ``None`` for metadata-only rows.
+        notes: Implementation notes (e.g. alias targets).
+    """
+
+    name: str
+    display_name: str
+    modulation: ModulationClass
+    modulation_text: str
+    sync_text: str
+    preamble_text: str
+    factory: Callable[..., Modem] | None = None
+    notes: str = ""
+
+    @property
+    def implemented(self) -> bool:
+        """Whether a modem can be constructed for this technology."""
+        return self.factory is not None
+
+
+REGISTRY: dict[str, TechnologyInfo] = {
+    info.name: info
+    for info in [
+        TechnologyInfo(
+            name="lora",
+            display_name="LoRa",
+            modulation=ModulationClass.CSS,
+            modulation_text="CSS",
+            sync_text="-",
+            preamble_text="sequence of 1s",
+            factory=LoRaModem,
+        ),
+        TechnologyInfo(
+            name="zwave",
+            display_name="Z-Wave",
+            modulation=ModulationClass.FSK,
+            modulation_text="BFSK,GFSK",
+            sync_text="m bytes",
+            preamble_text="'01010101'",
+            factory=ZWaveModem,
+        ),
+        TechnologyInfo(
+            name="xbee",
+            display_name="XBee",
+            modulation=ModulationClass.FSK,
+            modulation_text="GFSK",
+            sync_text="4 bytes",
+            preamble_text="'01010101'",
+            factory=XBeeModem,
+        ),
+        TechnologyInfo(
+            name="ble",
+            display_name="BLE",
+            modulation=ModulationClass.FSK,
+            modulation_text="GFSK",
+            sync_text="4 bytes",
+            preamble_text="'01010101'",
+            factory=BleModem,
+        ),
+        TechnologyInfo(
+            name="halow",
+            display_name="WiFi Halow",
+            modulation=ModulationClass.PSK,
+            modulation_text="BPSK",
+            sync_text="configuration specific",
+            preamble_text="configuration specific",
+            notes="metadata-only (paper future work)",
+        ),
+        TechnologyInfo(
+            name="sigfox",
+            display_name="SigFox",
+            modulation=ModulationClass.PSK,
+            modulation_text="D-BPSK",
+            sync_text="4 bytes",
+            preamble_text="unknown",
+            factory=SigfoxModem,
+        ),
+        TechnologyInfo(
+            name="thread",
+            display_name="Thread",
+            modulation=ModulationClass.DSSS,
+            modulation_text="QPSK",
+            sync_text="4 bytes",
+            preamble_text="binary 0s",
+            factory=OQpsk154Modem,
+            notes="rides the 802.15.4 O-QPSK DSSS PHY",
+        ),
+        TechnologyInfo(
+            name="wirelesshart",
+            display_name="WirelessHART",
+            modulation=ModulationClass.DSSS,
+            modulation_text="O-QPSK",
+            sync_text="4 bytes",
+            preamble_text="binary 0s",
+            factory=OQpsk154Modem,
+            notes="rides the 802.15.4 O-QPSK DSSS PHY",
+        ),
+        TechnologyInfo(
+            name="weightless",
+            display_name="Weightless",
+            modulation=ModulationClass.DSSS,
+            modulation_text="O-QPSK",
+            sync_text="4 byte",
+            preamble_text="binary 0s",
+            factory=OQpsk154Modem,
+            notes="rides the 802.15.4 O-QPSK DSSS PHY",
+        ),
+        TechnologyInfo(
+            name="oqpsk154",
+            display_name="802.15.4 O-QPSK",
+            modulation=ModulationClass.DSSS,
+            modulation_text="O-QPSK",
+            sync_text="1 byte SFD",
+            preamble_text="binary 0s",
+            factory=OQpsk154Modem,
+            notes="base PHY for Thread / WirelessHART / Weightless",
+        ),
+        TechnologyInfo(
+            name="nbiot",
+            display_name="NB-IoT",
+            modulation=ModulationClass.OFDM,
+            modulation_text="OFDMA",
+            sync_text="LTE specific",
+            preamble_text="LTE specific",
+            notes="metadata-only (paper future work)",
+        ),
+    ]
+}
+
+#: The three technologies of the paper's prototype (Sec. 7).
+PROTOTYPE_TECHNOLOGIES = ("lora", "xbee", "zwave")
+
+
+def all_technologies() -> list[TechnologyInfo]:
+    """Every registry row, in Table 1 order."""
+    return list(REGISTRY.values())
+
+
+def implemented_technologies() -> list[TechnologyInfo]:
+    """Rows with a working modem."""
+    return [info for info in REGISTRY.values() if info.implemented]
+
+
+def get_info(name: str) -> TechnologyInfo:
+    """Look up a technology by registry name.
+
+    Raises:
+        UnknownTechnologyError: for names not in the registry.
+    """
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise UnknownTechnologyError(name) from None
+
+
+def create_modem(name: str, **overrides) -> Modem:
+    """Instantiate the modem for a registry name.
+
+    Args:
+        name: Registry key (e.g. ``"lora"``).
+        **overrides: Forwarded to the modem constructor.
+
+    Raises:
+        UnknownTechnologyError: for unknown or metadata-only entries.
+    """
+    info = get_info(name)
+    if info.factory is None:
+        raise UnknownTechnologyError(
+            f"{name} is registered but has no implemented modem"
+        )
+    modem = info.factory(**overrides)
+    modem.name = name
+    return modem
+
+
+def table1_rows() -> list[dict[str, str]]:
+    """Table 1 as printable rows (used by the T1 benchmark)."""
+    return [
+        {
+            "technology": info.display_name,
+            "modulation": info.modulation_text,
+            "sync": info.sync_text,
+            "preamble": info.preamble_text,
+            "implemented": "yes" if info.implemented else "metadata-only",
+        }
+        for info in REGISTRY.values()
+    ]

@@ -1,0 +1,5 @@
+"""SigFox-style ultra-narrow-band D-BPSK PHY — extension technology."""
+
+from .modem import SigfoxModem
+
+__all__ = ["SigfoxModem"]

@@ -1,0 +1,5 @@
+"""XBee-868 (2-GFSK, 802.15.4-SUN style) PHY."""
+
+from .modem import XBeeModem
+
+__all__ = ["XBeeModem"]

@@ -1,0 +1,5 @@
+"""Z-Wave (ITU-T G.9959 R2 BFSK) PHY."""
+
+from .modem import ZWaveModem
+
+__all__ = ["ZWaveModem"]

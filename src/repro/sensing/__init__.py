@@ -1,0 +1,11 @@
+"""Multi-technology wireless sensing (paper Sec. 6, future work)."""
+
+from .features import ChannelSnapshot, snapshot_from_frame
+from .occupancy import OccupancyDetector, OccupancyEvent
+
+__all__ = [
+    "ChannelSnapshot",
+    "snapshot_from_frame",
+    "OccupancyDetector",
+    "OccupancyEvent",
+]

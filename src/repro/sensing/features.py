@@ -1,0 +1,84 @@
+"""Multi-technology wireless sensing: per-packet channel snapshots.
+
+Sec. 6 of the paper ("At the Cloud — Multi-Technology Wireless
+Sensing"): the cloud already holds I/Q for every decoded packet, and
+each packet carries a channel measurement for free. A
+:class:`ChannelSnapshot` captures the complex gain (amplitude + phase)
+and carrier offset of one packet, estimated by least squares against
+the remodulated reference — heterogeneous, occasional, wimpy
+measurements that become useful in aggregate (see
+:mod:`repro.sensing.occupancy`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dsp.resample import to_rate
+from ..errors import ConfigurationError
+from ..phy.base import FrameResult, Modem
+
+__all__ = ["ChannelSnapshot", "snapshot_from_frame"]
+
+
+@dataclass(frozen=True)
+class ChannelSnapshot:
+    """One packet's view of the wireless channel.
+
+    Attributes:
+        time_s: Capture timestamp of the packet.
+        technology: Which radio took the measurement.
+        device_id: Transmitting device (0 when unknown).
+        amplitude: |h| of the flat channel estimate.
+        phase_rad: Angle of the channel estimate.
+        cfo_hz: Residual carrier offset reported by the demodulator.
+    """
+
+    time_s: float
+    technology: str
+    device_id: int
+    amplitude: float
+    phase_rad: float
+    cfo_hz: float = 0.0
+
+
+def snapshot_from_frame(
+    samples: np.ndarray,
+    fs: float,
+    modem: Modem,
+    frame: FrameResult,
+    time_s: float = 0.0,
+    device_id: int = 0,
+) -> ChannelSnapshot:
+    """Estimate the channel a decoded frame travelled through.
+
+    Args:
+        samples: The segment the frame was decoded from, at rate ``fs``.
+        fs: Segment sample rate.
+        modem: The frame's technology.
+        frame: Decode result (payload + native-rate start).
+        time_s: Timestamp recorded in the snapshot.
+        device_id: Transmitter id recorded in the snapshot.
+
+    Raises:
+        ConfigurationError: when the frame extent is outside the segment.
+    """
+    reference = to_rate(modem.modulate(frame.payload), modem.sample_rate, fs)
+    start = int(round(frame.start * fs / modem.sample_rate))
+    stop = min(start + len(reference), len(samples))
+    if stop - start < len(reference) // 2:
+        raise ConfigurationError("frame extent not inside the segment")
+    ref = reference[: stop - start]
+    window = samples[start:stop]
+    energy = float(np.sum(np.abs(ref) ** 2))
+    gain = complex(np.sum(np.conj(ref) * window) / max(energy, 1e-30))
+    return ChannelSnapshot(
+        time_s=time_s,
+        technology=modem.name,
+        device_id=device_id,
+        amplitude=float(abs(gain)),
+        phase_rad=float(np.angle(gain)),
+        cfo_hz=float(frame.extra.get("cfo_hz", 0.0)),
+    )

@@ -1,0 +1,47 @@
+"""Line codes: Manchester encoding (G.9959 R1, 802.3-style).
+
+Z-Wave's lowest rate (R1, 9.6 kbit/s) Manchester-encodes every data bit
+into two half-bits so the waveform is DC-free and self-clocking:
+
+    1 -> 10      0 -> 01   (IEEE 802.3 convention, as used by G.9959)
+
+Decoding takes half-bit pairs back to bits; invalid pairs (00/11) are
+resolved by the first half-bit and counted so callers can gauge link
+quality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bits import as_bit_array
+
+__all__ = ["manchester_encode", "manchester_decode"]
+
+
+def manchester_encode(bits) -> np.ndarray:
+    """Expand each bit into its two-half-bit Manchester symbol."""
+    arr = as_bit_array(bits)
+    out = np.empty(2 * arr.size, dtype=np.uint8)
+    out[0::2] = arr
+    out[1::2] = arr ^ 1
+    return out
+
+
+def manchester_decode(half_bits) -> tuple[np.ndarray, int]:
+    """Collapse half-bit pairs back into bits.
+
+    Returns:
+        ``(bits, violations)`` — ``violations`` counts pairs that were
+        not a valid Manchester symbol (decided by their first half-bit).
+
+    Raises:
+        ValueError: if the half-bit count is odd.
+    """
+    arr = as_bit_array(half_bits)
+    if arr.size % 2:
+        raise ValueError("half-bit count must be even")
+    first = arr[0::2]
+    second = arr[1::2]
+    violations = int(np.sum(first == second))
+    return first.astype(np.uint8), violations

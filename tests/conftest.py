@@ -1,0 +1,74 @@
+"""Shared fixtures: deterministic RNG and session-scoped modems.
+
+Modems are stateless after construction, so building them once per
+session keeps the suite fast; every test that needs randomness takes
+the ``rng`` fixture for reproducibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.phy import (
+    BleModem,
+    LoRaModem,
+    OQpsk154Modem,
+    SigfoxModem,
+    XBeeModem,
+    ZWaveModem,
+)
+
+FS = 1e6
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def lora() -> LoRaModem:
+    return LoRaModem()
+
+
+@pytest.fixture(scope="session")
+def xbee() -> XBeeModem:
+    return XBeeModem()
+
+
+@pytest.fixture(scope="session")
+def zwave() -> ZWaveModem:
+    return ZWaveModem()
+
+
+@pytest.fixture(scope="session")
+def ble() -> BleModem:
+    return BleModem()
+
+
+@pytest.fixture(scope="session")
+def sigfox() -> SigfoxModem:
+    return SigfoxModem()
+
+
+@pytest.fixture(scope="session")
+def oqpsk() -> OQpsk154Modem:
+    return OQpsk154Modem()
+
+
+@pytest.fixture(scope="session")
+def trio(lora, xbee, zwave) -> list:
+    """The paper's three prototype technologies."""
+    return [lora, xbee, zwave]
+
+
+@pytest.fixture(scope="session")
+def fs() -> float:
+    return FS
+
+
+def pad(iq: np.ndarray, n: int = 400) -> np.ndarray:
+    """Surround a waveform with silence (import from tests)."""
+    z = np.zeros(n, dtype=complex)
+    return np.concatenate([z, iq, z])

@@ -1,0 +1,94 @@
+"""Tests for the Shannon-limit / link-budget analysis module."""
+
+import pytest
+
+from repro.analysis import (
+    collision_feasible,
+    detectable_snr_db,
+    processing_gain_db,
+    rate_margin_db,
+    shannon_capacity_bps,
+)
+from repro.errors import ConfigurationError
+from repro.phy import create_modem
+
+
+class TestCapacity:
+    def test_known_value(self):
+        # 1 MHz at 0 dB SNR: C = 1e6 * log2(2) = 1 Mbit/s.
+        assert shannon_capacity_bps(1e6, 0.0) == pytest.approx(1e6)
+
+    def test_monotone_in_snr(self):
+        assert shannon_capacity_bps(1e5, 10) > shannon_capacity_bps(1e5, 0)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            shannon_capacity_bps(0, 10)
+
+
+class TestRateMargin:
+    def test_lora_runs_far_below_capacity(self):
+        # The paper's Sec.-3 premise, quantified: LoRa SF7 at 10 dB
+        # runs more than an order of magnitude under the Shannon limit.
+        lora = create_modem("lora")
+        assert rate_margin_db(lora, 10.0) > 10.0
+
+    def test_all_prototype_technologies_have_slack(self):
+        for name in ("lora", "xbee", "zwave"):
+            modem = create_modem(name)
+            assert rate_margin_db(modem, 10.0) > 3.0, name
+
+    def test_margin_shrinks_at_low_snr(self):
+        lora = create_modem("lora")
+        assert rate_margin_db(lora, -20.0) < rate_margin_db(lora, 10.0)
+
+
+class TestCollisionFeasibility:
+    def test_high_snr_collision_is_feasible(self):
+        modems = [create_modem("lora"), create_modem("xbee")]
+        verdict = collision_feasible(modems, [15.0, 15.0])
+        assert verdict.feasible
+        assert verdict.worst_margin_db > 0
+        assert verdict.sum_capacity_bps > verdict.sum_rate_bps
+
+    def test_very_low_snr_collision_is_infeasible(self):
+        # The Sec.-5 regime "where the Shannon limit may not permit
+        # decoupling collisions".
+        modems = [create_modem("lora"), create_modem("xbee"), create_modem("zwave")]
+        verdict = collision_feasible(modems, [-28.0, -28.0, -28.0])
+        assert not verdict.feasible
+        assert verdict.worst_margin_db < 0
+
+    def test_single_transmission(self):
+        verdict = collision_feasible([create_modem("zwave")], [8.0])
+        assert verdict.feasible
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            collision_feasible([create_modem("lora")], [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            collision_feasible([], [])
+
+    def test_feasibility_monotone_in_snr(self):
+        modems = [create_modem("xbee"), create_modem("zwave")]
+        low = collision_feasible(modems, [-20.0, -20.0])
+        high = collision_feasible(modems, [20.0, 20.0])
+        assert high.worst_margin_db > low.worst_margin_db
+
+
+class TestDetectionBudget:
+    def test_processing_gain(self):
+        assert processing_gain_db(1000) == pytest.approx(30.0)
+
+    def test_fig3b_configuration_is_justified(self):
+        # The DESIGN.md claim: a 32-chirp SF7 LoRa preamble (32768
+        # samples at 1 MHz) is detectable around -31 dB per-sample SNR.
+        assert detectable_snr_db(32768) == pytest.approx(-31.2, abs=0.5)
+        # A 4-byte XBee preamble at 25 kb/s (1280 samples) is not
+        # detectable below about -17 dB — why the second packet of a
+        # collision goes missing first in Figure 3(b).
+        assert detectable_snr_db(1280) == pytest.approx(-17.1, abs=0.5)
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            processing_gain_db(0)

@@ -1,0 +1,97 @@
+"""Unit tests for the backhaul link model and the edge decoder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.gateway.backhaul import BackhaulLink
+from repro.gateway.edge import EdgeDecoder
+from repro.net.scene import SceneBuilder
+from repro.types import DetectionEvent, Segment
+
+FS = 1e6
+
+
+class TestBackhaul:
+    def test_serialization_delay(self):
+        link = BackhaulLink(rate_bps=1e6, latency_s=0.01)
+        shipment = link.ship(100_000, at_time=0.0)
+        assert shipment.arrived_at == pytest.approx(0.11)
+
+    def test_fifo_queueing(self):
+        link = BackhaulLink(rate_bps=1e6, latency_s=0.0)
+        first = link.ship(1_000_000, at_time=0.0)   # busy until t=1
+        second = link.ship(1_000_000, at_time=0.5)  # must wait
+        assert first.arrived_at == pytest.approx(1.0)
+        assert second.started_at == pytest.approx(1.0)
+        assert second.delay == pytest.approx(1.5)
+
+    def test_queue_bound_enforced(self):
+        link = BackhaulLink(rate_bps=1e3, latency_s=0.0, max_queue_s=1.0)
+        link.ship(10_000, at_time=0.0)  # 10 s of serialization
+        with pytest.raises(CapacityError):
+            link.ship(1, at_time=0.0)
+
+    def test_utilization(self):
+        link = BackhaulLink(rate_bps=1e6)
+        link.ship(250_000, at_time=0.0)
+        assert link.utilization(over_seconds=1.0) == pytest.approx(0.25)
+        assert link.total_bits == 250_000
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BackhaulLink(rate_bps=0)
+        link = BackhaulLink()
+        with pytest.raises(ConfigurationError):
+            link.ship(-1, 0.0)
+        with pytest.raises(ConfigurationError):
+            link.utilization(0.0)
+
+
+class TestEdge:
+    def _segment(self, samples, detections=1):
+        return Segment(
+            start=0,
+            samples=samples,
+            sample_rate=FS,
+            detections=[DetectionEvent(0, 1.0, "u")] * detections,
+        )
+
+    def test_clean_frame_resolved_locally(self, trio, rng):
+        xbee = next(m for m in trio if m.name == "xbee")
+        builder = SceneBuilder(FS, 0.05)
+        builder.add_packet(xbee, b"local", 2000, 15, rng)
+        capture, _ = builder.render(rng)
+        edge = EdgeDecoder(trio, FS)
+        outcome = edge.try_decode(self._segment(capture))
+        assert not outcome.ship_to_cloud
+        assert [r.payload for r in outcome.results] == [b"local"]
+        assert outcome.results[0].method == "direct"
+
+    def test_noise_is_shipped(self, trio, rng):
+        noise = (rng.normal(size=80_000) + 1j * rng.normal(size=80_000)) / 2
+        outcome = EdgeDecoder(trio, FS).try_decode(self._segment(noise))
+        assert outcome.ship_to_cloud
+        assert outcome.results == []
+
+    def test_multi_detection_ships_even_after_partial_decode(self, trio, rng):
+        lora = next(m for m in trio if m.name == "lora")
+        xbee = next(m for m in trio if m.name == "xbee")
+        builder = SceneBuilder(FS, 0.12)
+        builder.add_packet(lora, b"strong", 2000, 12, rng)
+        builder.add_packet(xbee, b"masked", 2000, 12, rng)
+        capture, _ = builder.render(rng)
+        edge = EdgeDecoder(trio, FS, ship_on_multi_detection=True)
+        outcome = edge.try_decode(self._segment(capture, detections=2))
+        # Whatever the edge got, two detections > decoded frames means
+        # the cloud must still see this segment.
+        assert outcome.ship_to_cloud
+
+    def test_ship_on_multi_detection_disabled(self, trio, rng):
+        xbee = next(m for m in trio if m.name == "xbee")
+        builder = SceneBuilder(FS, 0.05)
+        builder.add_packet(xbee, b"only", 2000, 15, rng)
+        capture, _ = builder.render(rng)
+        edge = EdgeDecoder(trio, FS, ship_on_multi_detection=False)
+        outcome = edge.try_decode(self._segment(capture, detections=3))
+        assert not outcome.ship_to_cloud

@@ -1,0 +1,105 @@
+"""Unit tests for repro.dsp.channel."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.channel import (
+    add_at,
+    awgn,
+    complex_gain,
+    noise_for_band_snr,
+    scale_to_snr,
+    signal_power,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSignalPower:
+    def test_unit_tone(self):
+        x = np.exp(1j * np.linspace(0, 10, 1000))
+        assert signal_power(x) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert signal_power(np.zeros(0, complex)) == 0.0
+
+
+class TestAwgn:
+    def test_snr_is_accurate(self, rng):
+        x = np.exp(2j * np.pi * 0.01 * np.arange(100_000))
+        noisy = awgn(x, 10.0, rng)
+        noise = noisy - x
+        snr = 10 * np.log10(signal_power(x) / signal_power(noise))
+        assert snr == pytest.approx(10.0, abs=0.3)
+
+    def test_measured_power_override(self, rng):
+        x = np.concatenate(
+            [np.zeros(1000, complex), np.ones(1000, complex)]
+        )  # half silence
+        noisy = awgn(x, 0.0, rng, measured_power=1.0)
+        noise_p = signal_power(noisy - x)
+        assert noise_p == pytest.approx(1.0, rel=0.1)
+
+    def test_zero_power_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            awgn(np.zeros(100, complex), 10.0, rng)
+
+
+class TestBandSnr:
+    def test_full_band_equals_plain(self):
+        assert noise_for_band_snr(1.0, 0.0, 1e6, 1e6) == pytest.approx(1.0)
+
+    def test_narrowband_gets_more_total_noise(self):
+        # A 125 kHz signal at 0 dB in-band tolerates 8x the full-band
+        # noise power at 1 MHz.
+        assert noise_for_band_snr(1.0, 0.0, 125e3, 1e6) == pytest.approx(8.0)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            noise_for_band_snr(1.0, 0.0, 2e6, 1e6)
+
+    def test_scale_to_snr_roundtrip(self, rng):
+        x = np.exp(2j * np.pi * 0.03 * np.arange(10_000))
+        noise_power = 2.0
+        scaled = scale_to_snr(x, 7.0, noise_power, 125e3, 1e6)
+        in_band_noise = noise_power * 125e3 / 1e6
+        snr = 10 * np.log10(signal_power(scaled) / in_band_noise)
+        assert snr == pytest.approx(7.0, abs=1e-9)
+
+    def test_scale_zero_signal_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scale_to_snr(np.zeros(10, complex), 0.0, 1.0, 1e5, 1e6)
+
+
+class TestComplexGain:
+    def test_amplitude_and_phase(self):
+        x = np.ones(4, complex)
+        y = complex_gain(x, amplitude=2.0, phase_rad=np.pi / 2)
+        assert np.allclose(y, 2j)
+
+
+class TestAddAt:
+    def test_simple_placement(self):
+        buf = np.zeros(10, complex)
+        add_at(buf, 3, np.ones(4, complex))
+        assert buf.tolist() == [0, 0, 0, 1, 1, 1, 1, 0, 0, 0]
+
+    def test_clips_past_end(self):
+        buf = np.zeros(5, complex)
+        add_at(buf, 3, np.ones(4, complex))
+        assert buf.tolist() == [0, 0, 0, 1, 1]
+
+    def test_clips_before_start(self):
+        buf = np.zeros(5, complex)
+        add_at(buf, -2, np.arange(4, dtype=complex))
+        assert buf.tolist() == [2, 3, 0, 0, 0]
+
+    def test_fully_outside_is_noop(self):
+        buf = np.zeros(5, complex)
+        add_at(buf, 10, np.ones(3, complex))
+        assert np.all(buf == 0)
+
+    def test_accumulates(self):
+        buf = np.zeros(4, complex)
+        add_at(buf, 0, np.ones(4, complex))
+        add_at(buf, 2, np.ones(2, complex))
+        assert buf.tolist() == [1, 1, 2, 2]

@@ -1,0 +1,100 @@
+"""Tests for the FFT channelizer (all-channels-at-once front end)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.filters import frequency_shift
+from repro.dsp.resample import to_rate
+from repro.errors import ConfigurationError
+from repro.gateway.channelizer import Channelizer
+from repro.gateway.hopping import ChannelPlan
+from repro.phy import create_modem
+
+WIDE_FS = 4e6
+CH_BW = 1e6
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return ChannelPlan.uniform(WIDE_FS, CH_BW, 4)
+
+
+def _tone_on_channel(plan, channel, offset_hz, n):
+    freq = plan.centers_hz[channel] + offset_hz
+    return np.exp(2j * np.pi * freq * np.arange(n) / plan.wide_fs)
+
+
+class TestFftMode:
+    def test_energy_lands_on_the_right_channel(self, plan):
+        wide = _tone_on_channel(plan, 2, 100e3, 40_000)
+        channels = Channelizer(plan, mode="fft").split(wide)
+        powers = {c: float(np.mean(np.abs(x) ** 2)) for c, x in channels.items()}
+        assert powers[2] > 100 * max(powers[c] for c in (0, 1, 3))
+
+    def test_baseband_frequency_is_relative(self, plan):
+        wide = _tone_on_channel(plan, 1, 150e3, 40_000)
+        channels = Channelizer(plan, mode="fft").split(wide)
+        x = channels[1]
+        freqs = np.fft.fftfreq(len(x), 1.0 / plan.channel_bw)
+        peak = freqs[np.argmax(np.abs(np.fft.fft(x)))]
+        assert peak == pytest.approx(150e3, abs=plan.channel_bw / len(x))
+
+    def test_frame_decodes_from_channel(self, plan):
+        xbee = create_modem("xbee")
+        wave = to_rate(xbee.modulate(b"channelized"), xbee.sample_rate, WIDE_FS)
+        wave = frequency_shift(wave, plan.centers_hz[3], WIDE_FS)
+        wide = np.zeros(len(wave) + 8000, complex)
+        wide[4000 : 4000 + len(wave)] = wave
+        channels = Channelizer(plan, mode="fft").split(wide)
+        frame = xbee.demodulate(channels[3])
+        assert frame.crc_ok and frame.payload == b"channelized"
+
+    def test_output_rate(self, plan):
+        wide = np.zeros(40_000, complex)
+        channels = Channelizer(plan).split(wide)
+        assert all(len(x) == 10_000 for x in channels.values())
+
+
+@pytest.fixture(scope="module")
+def on_bin_plan():
+    # Bank mode requires channel centres on DFT bins of the m-point
+    # transform (multiples of 1 MHz here).
+    return ChannelPlan(
+        wide_fs=WIDE_FS, channel_bw=CH_BW, centers_hz=(-1e6, 0.0, 1e6)
+    )
+
+
+class TestBankMode:
+    def test_on_bin_tone_unit_gain(self, on_bin_plan):
+        wide = _tone_on_channel(on_bin_plan, 2, 0.0, 40_000)
+        channels = Channelizer(on_bin_plan, mode="bank").split(wide)
+        assert np.mean(np.abs(channels[2])) == pytest.approx(1.0, rel=0.05)
+
+    def test_channel_isolation(self, on_bin_plan):
+        wide = _tone_on_channel(on_bin_plan, 0, 0.0, 40_000)
+        channels = Channelizer(on_bin_plan, mode="bank").split(wide)
+        p0 = float(np.mean(np.abs(channels[0]) ** 2))
+        p2 = float(np.mean(np.abs(channels[2]) ** 2))
+        assert p0 > 100 * p2
+
+    def test_short_input(self, on_bin_plan):
+        channels = Channelizer(on_bin_plan, mode="bank").split(
+            np.zeros(2, complex)
+        )
+        assert all(len(x) == 0 for x in channels.values())
+
+    def test_mapping_diagnostics(self, on_bin_plan):
+        mapping = Channelizer(on_bin_plan, mode="bank").best_mapping()
+        assert set(mapping) == {0, 1, 2}
+        assert len(set(mapping.values())) == 3
+
+
+class TestValidation:
+    def test_unknown_mode_rejected(self, plan):
+        with pytest.raises(ConfigurationError):
+            Channelizer(plan, mode="wavelet")
+
+    def test_bank_rejects_off_bin_plan(self, plan):
+        # The uniform 4-channel plan has half-bin centres.
+        with pytest.raises(ConfigurationError):
+            Channelizer(plan, mode="bank")

@@ -1,0 +1,138 @@
+"""Unit tests for the cloud classifier and SIC primitives."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.classify import SegmentClassifier
+from repro.cloud.sic import reconstruct_and_subtract, try_decode
+from repro.errors import ConfigurationError
+from repro.net.scene import SceneBuilder
+from repro.net.traffic import collision_scene
+
+FS = 1e6
+
+
+class TestClassifier:
+    def test_single_technology(self, trio, rng):
+        xbee = next(m for m in trio if m.name == "xbee")
+        builder = SceneBuilder(FS, 0.06)
+        builder.add_packet(xbee, b"who-am-i", 3000, 15, rng)
+        capture, _ = builder.render(rng)
+        found = SegmentClassifier(trio, FS).classify(capture)
+        assert found
+        assert found[0].technology == "xbee"
+        assert abs(found[0].start - 3000) < 256
+
+    def test_collision_finds_both(self, trio, rng):
+        by = {m.name: m for m in trio}
+        capture, truth = collision_scene(
+            [by["lora"], by["zwave"]], [12, 12], FS, rng, payload_len=10
+        )
+        found = SegmentClassifier(trio, FS).classify(capture)
+        techs = {c.technology for c in found}
+        assert {"lora", "zwave"} <= techs
+
+    def test_power_ordering(self, trio, rng):
+        by = {m.name: m for m in trio}
+        capture, _ = collision_scene(
+            [by["lora"], by["xbee"]],
+            [22, 10],
+            FS,
+            rng,
+            payload_len=10,
+            snr_mode="capture",
+        )
+        found = SegmentClassifier(trio, FS).classify(capture)
+        assert found[0].technology == "lora"
+        weaker = [c.power for c in found if c.technology == "xbee"]
+        if weaker:  # the masked FSK may not always be classified
+            assert found[0].power > 2 * max(weaker)
+
+    def test_amplitude_estimate_tracks_scale(self, trio, rng):
+        xbee = next(m for m in trio if m.name == "xbee")
+        builder = SceneBuilder(FS, 0.06, noise_power=1e-6)
+        builder.add_packet(xbee, b"scale", 3000, 60, rng, snr_mode="capture")
+        capture, _ = builder.render(rng)
+        c1 = SegmentClassifier(trio, FS).classify(capture)[0]
+        c2 = SegmentClassifier(trio, FS).classify(2 * capture)[0]
+        assert abs(c2.amplitude) == pytest.approx(2 * abs(c1.amplitude), rel=0.05)
+
+    def test_pure_noise_mostly_empty(self, trio, rng):
+        noise = (rng.normal(size=120_000) + 1j * rng.normal(size=120_000)) / 2
+        found = SegmentClassifier(trio, FS).classify(noise)
+        assert len(found) <= 2
+
+    def test_empty_modems_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SegmentClassifier([], FS)
+
+
+class TestTryDecode:
+    def test_success_path(self, trio, rng):
+        zwave = next(m for m in trio if m.name == "zwave")
+        builder = SceneBuilder(FS, 0.08)
+        builder.add_packet(zwave, b"plain", 2000, 15, rng)
+        capture, _ = builder.render(rng)
+        frame = try_decode(zwave, capture, FS)
+        assert frame is not None and frame.payload == b"plain"
+
+    def test_returns_none_on_noise(self, trio, rng):
+        noise = (rng.normal(size=100_000) + 1j * rng.normal(size=100_000)) / 2
+        for modem in trio:
+            assert try_decode(modem, noise, FS) is None
+
+
+class TestReconstruction:
+    def test_deep_cancellation_without_cfo(self, trio, rng):
+        lora = next(m for m in trio if m.name == "lora")
+        builder = SceneBuilder(FS, 0.1, noise_power=1e-9)
+        builder.add_packet(lora, b"cancel-me", 2000, 60, rng, snr_mode="capture")
+        capture, _ = builder.render(rng)
+        frame = try_decode(lora, capture, FS)
+        residual, report = reconstruct_and_subtract(capture, FS, lora, frame)
+        assert report.cancelled_db > 30
+        packet_len = len(lora.modulate(b"cancel-me"))
+        left = residual[2000 : 2000 + packet_len]
+        assert np.mean(np.abs(left) ** 2) < 1e-6
+
+    def test_cfo_limits_cancellation(self, trio, rng):
+        # The strawman-SIC weakness the kill filters exploit.
+        lora = next(m for m in trio if m.name == "lora")
+        builder = SceneBuilder(FS, 0.1, noise_power=1e-9)
+        builder.add_packet(
+            lora, b"drifting", 2000, 60, rng, cfo_hz=900.0, snr_mode="capture"
+        )
+        capture, _ = builder.render(rng)
+        frame = try_decode(lora, capture, FS)
+        assert frame is not None  # the demodulator corrects CFO...
+        _, report = reconstruct_and_subtract(capture, FS, lora, frame)
+        # ...but the CFO-blind reconstruction cannot cancel deeply.
+        assert report.cancelled_db < 15
+
+    def test_reveals_weaker_signal(self, trio, rng):
+        by = {m.name: m for m in trio}
+        capture, truth = collision_scene(
+            [by["lora"], by["xbee"]],
+            [25, 10],
+            FS,
+            rng,
+            payload_len=10,
+            snr_mode="capture",
+        )
+        frame = try_decode(by["lora"], capture, FS)
+        assert frame is not None
+        residual, _ = reconstruct_and_subtract(capture, FS, by["lora"], frame)
+        weak = try_decode(by["xbee"], residual, FS)
+        assert weak is not None
+        xbee_truth = next(p for p in truth.packets if p.technology == "xbee")
+        assert weak.payload == xbee_truth.payload
+
+    def test_frame_outside_segment_is_noop(self, trio):
+        lora = next(m for m in trio if m.name == "lora")
+        from repro.phy.base import FrameResult
+
+        fake = FrameResult(payload=b"x", crc_ok=True, start=10_000_000)
+        samples = np.ones(1000, complex)
+        residual, report = reconstruct_and_subtract(samples, FS, lora, fake)
+        assert np.array_equal(residual, samples)
+        assert report.cancelled_db == 0.0

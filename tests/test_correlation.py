@@ -1,0 +1,123 @@
+"""Unit tests for repro.dsp.correlation."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.correlation import (
+    cross_correlate,
+    find_peaks_above,
+    normalized_correlation,
+    segmented_correlation,
+)
+from repro.dsp.impairments import apply_cfo
+from repro.errors import ConfigurationError
+
+
+def _template(rng, n=256):
+    return rng.normal(size=n) + 1j * rng.normal(size=n)
+
+
+class TestCrossCorrelate:
+    def test_peak_at_true_offset(self, rng):
+        tpl = _template(rng)
+        x = np.concatenate([np.zeros(100, complex), tpl, np.zeros(50, complex)])
+        corr = cross_correlate(x, tpl)
+        assert int(np.argmax(np.abs(corr))) == 100
+
+    def test_output_length(self, rng):
+        tpl = _template(rng, 32)
+        x = np.zeros(100, complex)
+        assert len(cross_correlate(x, tpl)) == 100 - 32 + 1
+
+    def test_template_longer_than_signal_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            cross_correlate(np.zeros(10, complex), _template(rng, 20))
+
+    def test_scale_invariance_of_peak_position(self, rng):
+        tpl = _template(rng)
+        x = np.concatenate([np.zeros(40, complex), 0.01 * tpl])
+        corr = cross_correlate(x, tpl)
+        assert int(np.argmax(np.abs(corr))) == 40
+
+
+class TestNormalizedCorrelation:
+    def test_perfect_match_scores_one(self, rng):
+        tpl = _template(rng)
+        x = np.concatenate([np.zeros(80, complex), 3.7 * tpl, np.zeros(80, complex)])
+        scores = normalized_correlation(x, tpl)
+        assert scores[80] == pytest.approx(1.0, abs=1e-6)
+
+    def test_noise_scores_low(self, rng):
+        tpl = _template(rng)
+        noise = rng.normal(size=4096) + 1j * rng.normal(size=4096)
+        scores = normalized_correlation(noise, tpl)
+        assert scores.max() < 0.35
+
+    def test_zero_padding_does_not_blow_up(self, rng):
+        # Regression: all-zero windows used to divide dust by dust.
+        tpl = _template(rng, 64)
+        x = np.concatenate([np.zeros(500, complex), tpl, np.zeros(500, complex)])
+        scores = normalized_correlation(x, tpl)
+        assert scores.max() <= 1.0 + 1e-9
+        assert int(np.argmax(scores)) == 500
+
+    def test_phase_rotation_invariant(self, rng):
+        tpl = _template(rng)
+        x = np.concatenate([np.zeros(10, complex), tpl * np.exp(1j * 2.2)])
+        scores = normalized_correlation(x, tpl)
+        assert scores[10] == pytest.approx(1.0, abs=1e-6)
+
+
+class TestSegmentedCorrelation:
+    def test_perfect_match_scores_one(self, rng):
+        tpl = _template(rng, 256)
+        x = np.concatenate([np.zeros(64, complex), tpl, np.zeros(64, complex)])
+        scores = segmented_correlation(x, tpl, block=32)
+        assert scores[64] == pytest.approx(1.0, abs=1e-3)
+
+    def test_cfo_robustness_vs_coherent(self, rng):
+        tpl = _template(rng, 512)
+        x = np.concatenate([np.zeros(100, complex), tpl, np.zeros(100, complex)])
+        # CFO of 0.005 cycles/sample rotates 2.5 turns across the template.
+        x_cfo = apply_cfo(x, 0.005, 1.0)
+        coherent = normalized_correlation(x_cfo, tpl)
+        segmented = segmented_correlation(x_cfo, tpl, block=32)
+        assert segmented[100] > 2 * coherent.max()
+        assert int(np.argmax(segmented)) == 100
+
+    def test_block_larger_than_template_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            segmented_correlation(np.zeros(100, complex), _template(rng, 16), 32)
+
+    def test_invalid_block_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            segmented_correlation(np.zeros(100, complex), _template(rng, 16), 0)
+
+
+class TestFindPeaks:
+    def test_simple_peaks(self):
+        scores = np.zeros(100)
+        scores[10] = 1.0
+        scores[50] = 0.9
+        assert find_peaks_above(scores, 0.5, 5) == [10, 50]
+
+    def test_min_distance_suppression(self):
+        scores = np.zeros(100)
+        scores[10] = 1.0
+        scores[12] = 0.9  # suppressed: too close to the stronger peak
+        scores[40] = 0.8
+        assert find_peaks_above(scores, 0.5, 5) == [10, 40]
+
+    def test_threshold_respected(self):
+        scores = np.full(50, 0.1)
+        assert find_peaks_above(scores, 0.5, 5) == []
+
+    def test_greedy_keeps_strongest(self):
+        scores = np.zeros(100)
+        scores[20] = 0.6
+        scores[22] = 1.0  # stronger wins within the exclusion zone
+        assert find_peaks_above(scores, 0.5, 5) == [22]
+
+    def test_invalid_distance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            find_peaks_above(np.zeros(10), 0.5, 0)

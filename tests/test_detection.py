@@ -1,0 +1,143 @@
+"""Unit tests for the gateway detectors (energy + preamble bank)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gateway.detection import (
+    EnergyDetector,
+    PreambleBankDetector,
+    cfar_threshold,
+    detection_ratio,
+    match_events,
+    matched_filter_track,
+    packet_detected,
+)
+from repro.net.scene import SceneBuilder
+from repro.types import DetectionEvent, PacketTruth
+
+FS = 1e6
+
+
+def _scene(trio, rng, snr, starts=(30_000, 150_000), techs=("xbee", "zwave")):
+    builder = SceneBuilder(FS, 0.3)
+    by = {m.name: m for m in trio}
+    for start, tech in zip(starts, techs):
+        builder.add_packet(
+            by[tech], b"detect-me!", start, snr, rng, snr_mode="capture"
+        )
+    return builder.render(rng)
+
+
+class TestCfar:
+    def test_scales_with_noise(self, rng):
+        low = rng.rayleigh(0.1, 10_000)
+        high = rng.rayleigh(10.0, 10_000)
+        assert cfar_threshold(high, 6.0) > 50 * cfar_threshold(low, 6.0)
+
+    def test_monotone_in_k(self, rng):
+        scores = rng.rayleigh(1.0, 5_000)
+        assert cfar_threshold(scores, 9.0) > cfar_threshold(scores, 3.0)
+
+
+class TestMatchedFilterTrack:
+    def test_peak_at_offset(self, rng):
+        tpl = rng.normal(size=128) + 1j * rng.normal(size=128)
+        x = np.concatenate([np.zeros(64, complex), tpl, np.zeros(64, complex)])
+        track = matched_filter_track(x, tpl)
+        assert int(np.argmax(track)) == 64
+
+    def test_block_mode_matches_peak(self, rng):
+        tpl = rng.normal(size=128) + 1j * rng.normal(size=128)
+        x = np.concatenate([np.zeros(64, complex), tpl, np.zeros(64, complex)])
+        track = matched_filter_track(x, tpl, block=32)
+        assert int(np.argmax(track)) == 64
+
+    def test_zero_template_rejected(self):
+        with pytest.raises(ConfigurationError):
+            matched_filter_track(np.ones(64, complex), np.zeros(16, complex))
+
+
+class TestEnergyDetector:
+    def test_detects_loud_packet(self, trio, rng):
+        capture, truth = _scene(trio, rng, snr=10)
+        events = EnergyDetector().detect(capture)
+        assert detection_ratio(events, truth.packets, gate=1024) == 1.0
+
+    def test_misses_subnoise_packet(self, trio, rng):
+        capture, truth = _scene(trio, rng, snr=-15)
+        events = EnergyDetector().detect(capture)
+        assert detection_ratio(events, truth.packets, gate=1024) == 0.0
+
+    def test_quiet_on_pure_noise(self, rng):
+        noise = (rng.normal(size=200_000) + 1j * rng.normal(size=200_000)) / 2
+        events = EnergyDetector().detect(noise)
+        assert len(events) <= 2
+
+    def test_short_input(self):
+        assert EnergyDetector(window=256).detect(np.zeros(10, complex)) == []
+
+
+class TestPreambleBank:
+    def test_labels_technologies(self, trio, rng):
+        capture, truth = _scene(trio, rng, snr=5)
+        detector = PreambleBankDetector(trio, FS)
+        events = detector.detect(capture)
+        labels = {
+            e.technology
+            for e in events
+            if any(
+                p.start - 2048 <= e.index < p.end for p in truth.packets
+            )
+        }
+        assert {"xbee", "zwave"} <= labels
+
+    def test_detects_below_noise(self, trio, rng):
+        capture, truth = _scene(trio, rng, snr=-10)
+        events = PreambleBankDetector(trio, FS).detect(capture)
+        assert detection_ratio(events, truth.packets, gate=4096) == 1.0
+
+    def test_correlation_count_scales(self, trio):
+        assert PreambleBankDetector(trio, FS).n_correlations == 3
+        assert PreambleBankDetector(trio[:2], FS).n_correlations == 2
+
+    def test_empty_bank_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PreambleBankDetector([], FS)
+
+
+class TestMatching:
+    def _packets(self):
+        return [
+            PacketTruth(0, "xbee", 1000, 4000, 0.0, b"a"),
+            PacketTruth(1, "lora", 1200, 60000, 0.0, b"b"),
+        ]
+
+    def test_nearest_start_assignment(self):
+        events = [
+            DetectionEvent(1010, 1.0, "t"),
+            DetectionEvent(1195, 1.0, "t"),
+        ]
+        detected, fas = match_events(events, self._packets(), gate=512)
+        assert detected == {0, 1}
+        assert fas == []
+
+    def test_false_alarm_outside_gate(self):
+        events = [DetectionEvent(90_000, 1.0, "t")]
+        detected, fas = match_events(events, self._packets(), gate=512)
+        assert detected == set()
+        assert len(fas) == 1
+
+    def test_event_inside_long_packet_counts(self):
+        events = [DetectionEvent(30_000, 1.0, "t")]
+        detected, _ = match_events(events, self._packets(), gate=512)
+        assert detected == {1}
+
+    def test_packet_detected_helper(self):
+        events = [DetectionEvent(100, 1.0, "t")]
+        assert packet_detected(events, 90, 500)
+        assert not packet_detected(events, 300, 500)
+        assert packet_detected(events, 150, 500, tolerance=64)
+
+    def test_empty_packets_gives_nan(self):
+        assert np.isnan(detection_ratio([], []))

@@ -1,0 +1,155 @@
+"""Unit tests for segment extraction and the backhaul codec."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gateway.compression import SegmentCodec
+from repro.gateway.extractor import SegmentExtractor, max_frame_samples
+from repro.types import DetectionEvent, Segment
+
+FS = 1e6
+
+
+class TestMaxFrameSamples:
+    def test_lora_dominates(self, trio):
+        n = max_frame_samples(trio, FS, payload_len=32)
+        lora = next(m for m in trio if m.name == "lora")
+        assert n == pytest.approx(lora.frame_airtime(32) * FS, abs=2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            max_frame_samples([], FS, 32)
+
+
+class TestExtractor:
+    def _extractor(self, trio):
+        return SegmentExtractor(trio, FS, typical_payload=16)
+
+    def test_span_is_twice_max_frame(self, trio):
+        ex = self._extractor(trio)
+        assert ex.span == pytest.approx(2 * ex.max_frame, abs=2)
+
+    def test_no_events_no_segments(self, trio):
+        ex = self._extractor(trio)
+        assert ex.extract(np.zeros(1000, complex), []) == []
+
+    def test_single_event_window(self, trio, rng):
+        ex = self._extractor(trio)
+        samples = rng.normal(size=500_000) + 0j
+        segments = ex.extract(samples, [DetectionEvent(100_000, 1.0, "u")])
+        assert len(segments) == 1
+        seg = segments[0]
+        assert seg.start <= 100_000 < seg.end
+        assert seg.length == ex.span
+
+    def test_overlapping_events_merge(self, trio, rng):
+        ex = self._extractor(trio)
+        samples = rng.normal(size=800_000) + 0j
+        events = [
+            DetectionEvent(100_000, 1.0, "u"),
+            DetectionEvent(110_000, 0.9, "u"),  # collision partner
+        ]
+        segments = ex.extract(samples, events)
+        assert len(segments) == 1
+        assert len(segments[0].detections) == 2
+
+    def test_distant_events_stay_separate(self, trio, rng):
+        ex = self._extractor(trio)
+        n = 3 * ex.span + 200_000
+        samples = rng.normal(size=n) + 0j
+        events = [
+            DetectionEvent(1000, 1.0, "u"),
+            DetectionEvent(1000 + 2 * ex.span, 1.0, "u"),
+        ]
+        segments = ex.extract(samples, events)
+        assert len(segments) == 2
+
+    def test_clipped_at_capture_edges(self, trio, rng):
+        ex = self._extractor(trio)
+        samples = rng.normal(size=ex.span) + 0j
+        segments = ex.extract(samples, [DetectionEvent(10, 1.0, "u")])
+        assert segments[0].start == 0
+        assert segments[0].end <= len(samples)
+
+    def test_shipped_fraction(self, trio, rng):
+        ex = self._extractor(trio)
+        samples = rng.normal(size=10 * ex.span) + 0j
+        segments = ex.extract(samples, [DetectionEvent(5 * ex.span, 1.0, "u")])
+        assert ex.shipped_fraction(segments, len(samples)) == pytest.approx(0.1)
+
+    def test_invalid_params_rejected(self, trio):
+        with pytest.raises(ConfigurationError):
+            SegmentExtractor(trio, FS, span_factor=0)
+        with pytest.raises(ConfigurationError):
+            SegmentExtractor(trio, FS, pre_fraction=1.0)
+
+
+class TestCodec:
+    def _segment(self, rng, n=4096):
+        samples = rng.normal(size=n) + 1j * rng.normal(size=n)
+        return Segment(start=1234, samples=samples, sample_rate=FS)
+
+    def test_roundtrip_metadata(self, rng):
+        codec = SegmentCodec()
+        seg = self._segment(rng)
+        blob, _ = codec.compress(seg)
+        out = codec.decompress(blob)
+        assert out.start == seg.start
+        assert out.sample_rate == seg.sample_rate
+        assert out.length == seg.length
+
+    def test_quantization_error_bounded(self, rng):
+        codec = SegmentCodec(bits=8)
+        seg = self._segment(rng)
+        blob, _ = codec.compress(seg)
+        out = codec.decompress(blob)
+        peak = np.max(np.abs(np.concatenate([seg.samples.real, seg.samples.imag])))
+        step = 2 * peak / 255
+        assert np.max(np.abs(out.samples.real - seg.samples.real)) <= step
+
+    def test_stats_accounting(self, rng):
+        codec = SegmentCodec(bits=8)
+        seg = self._segment(rng)
+        blob, stats = codec.compress(seg)
+        assert stats.raw_bits == 2 * 8 * seg.length
+        assert stats.shipped_bits == blob.n_bits
+
+    def test_compresses_silence_heavily(self):
+        codec = SegmentCodec()
+        seg = Segment(start=0, samples=np.zeros(65536, complex), sample_rate=FS)
+        _, stats = codec.compress(seg)
+        assert stats.ratio > 50
+
+    def test_noise_is_hard_to_compress(self, rng):
+        codec = SegmentCodec()
+        _, stats = codec.compress(self._segment(rng, 65536))
+        assert stats.ratio < 1.5
+
+    def test_fewer_bits_smaller_blob(self, rng):
+        seg = self._segment(rng, 16384)
+        blob8, _ = SegmentCodec(bits=8).compress(seg)
+        blob4, _ = SegmentCodec(bits=4).compress(seg)
+        assert blob4.n_bits < blob8.n_bits
+
+    def test_decode_survives_compression(self, rng, xbee):
+        payload = b"compressed-i-q"
+        wave = np.concatenate(
+            [np.zeros(300, complex), xbee.modulate(payload), np.zeros(300, complex)]
+        )
+        noisy = wave + 0.05 * (
+            rng.normal(size=len(wave)) + 1j * rng.normal(size=len(wave))
+        )
+        seg = Segment(start=0, samples=noisy, sample_rate=FS)
+        codec = SegmentCodec(bits=8)
+        out = codec.decompress(codec.compress(seg)[0])
+        frame = xbee.demodulate(out.samples)
+        assert frame.crc_ok and frame.payload == payload
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SegmentCodec(bits=0)
+        with pytest.raises(ConfigurationError):
+            SegmentCodec(bits=9)
+        with pytest.raises(ConfigurationError):
+            SegmentCodec(level=10)

@@ -1,0 +1,132 @@
+"""Unit tests for repro.dsp.filters."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.filters import (
+    design_lowpass_fir,
+    fft_bandpass,
+    fft_notch,
+    fir_filter,
+    frequency_shift,
+    gaussian_pulse,
+    half_sine_pulse,
+    moving_average,
+)
+from repro.errors import ConfigurationError
+
+
+def _tone(freq, fs, n=4096):
+    return np.exp(2j * np.pi * freq * np.arange(n) / fs)
+
+
+class TestLowpassDesign:
+    def test_passband_and_stopband(self):
+        fs = 1e6
+        taps = design_lowpass_fir(129, 100e3, fs)
+        passband = fir_filter(_tone(50e3, fs), taps)
+        stopband = fir_filter(_tone(300e3, fs), taps)
+        p_pass = np.mean(np.abs(passband[200:-200]) ** 2)
+        p_stop = np.mean(np.abs(stopband[200:-200]) ** 2)
+        assert p_pass > 0.9
+        assert p_stop < 1e-3
+
+    def test_unit_dc_gain(self):
+        taps = design_lowpass_fir(65, 10e3, 1e6)
+        assert np.sum(taps) == pytest.approx(1.0, abs=1e-3)
+
+    def test_invalid_cutoff_rejected(self):
+        with pytest.raises(ConfigurationError):
+            design_lowpass_fir(65, 600e3, 1e6)
+        with pytest.raises(ConfigurationError):
+            design_lowpass_fir(65, 0, 1e6)
+
+    def test_too_few_taps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            design_lowpass_fir(2, 1e3, 1e6)
+
+
+class TestGaussianPulse:
+    def test_unit_sum(self):
+        pulse = gaussian_pulse(0.5, 8)
+        assert np.sum(pulse) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        pulse = gaussian_pulse(0.5, 10, span=4)
+        assert np.allclose(pulse, pulse[::-1])
+
+    def test_narrower_bt_means_wider_pulse(self):
+        sharp = gaussian_pulse(1.0, 8)
+        smooth = gaussian_pulse(0.3, 8)
+        # Effective width via inverse participation ratio.
+        width = lambda p: 1.0 / np.sum((p / p.sum()) ** 2)
+        assert width(smooth) > width(sharp)
+
+    def test_invalid_bt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            gaussian_pulse(0.0, 8)
+
+
+class TestHalfSine:
+    def test_shape(self):
+        pulse = half_sine_pulse(8)
+        assert len(pulse) == 8
+        assert pulse[0] == pytest.approx(0.0)
+        assert np.max(pulse) <= 1.0
+
+    def test_single_sample(self):
+        assert half_sine_pulse(1).tolist() == [1.0]
+
+
+class TestMovingAverage:
+    def test_constant_preserved(self):
+        out = moving_average(np.ones(100), 10)
+        assert np.allclose(out[10:-10], 1.0)
+
+    def test_length_preserved(self):
+        assert len(moving_average(np.arange(50, dtype=float), 7)) == 50
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            moving_average(np.ones(10), 0)
+
+
+class TestFftMasks:
+    def test_notch_removes_tone(self):
+        fs = 1e6
+        x = _tone(200e3, fs) + _tone(-100e3, fs)
+        out = fft_notch(x, fs, [(190e3, 210e3)])
+        spectrum = np.abs(np.fft.fft(out))
+        freqs = np.fft.fftfreq(len(out), 1 / fs)
+        killed = spectrum[np.argmin(np.abs(freqs - 200e3))]
+        kept = spectrum[np.argmin(np.abs(freqs + 100e3))]
+        assert killed < 1e-9 * kept
+
+    def test_notch_negative_band(self):
+        fs = 1e6
+        n = 4096
+        freq = -fs * 205 / n  # exactly on an FFT bin: no leakage
+        x = _tone(freq, fs, n)
+        out = fft_notch(x, fs, [(freq - 10e3, freq + 10e3)])
+        assert np.mean(np.abs(out) ** 2) < 1e-12
+
+    def test_bandpass_keeps_only_band(self):
+        fs = 1e6
+        x = _tone(10e3, fs) + _tone(400e3, fs)
+        out = fft_bandpass(x, fs, (-50e3, 50e3))
+        assert np.mean(np.abs(out) ** 2) == pytest.approx(1.0, rel=0.05)
+
+    def test_reversed_band_edges_accepted(self):
+        fs = 1e6
+        x = _tone(0, fs)
+        out = fft_notch(x, fs, [(10e3, -10e3)])
+        assert np.mean(np.abs(out) ** 2) < 1e-12
+
+
+class TestFrequencyShift:
+    def test_moves_tone_up(self):
+        fs = 1e6
+        shifted = frequency_shift(_tone(0, fs), 100e3, fs)
+        freqs = np.fft.fftfreq(len(shifted), 1 / fs)
+        peak = freqs[np.argmax(np.abs(np.fft.fft(shifted)))]
+        assert peak == pytest.approx(100e3, abs=fs / len(shifted))

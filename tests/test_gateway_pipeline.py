@@ -1,0 +1,95 @@
+"""Tests for the GalioT gateway orchestrator (Figure 2, gateway side)."""
+
+import numpy as np
+import pytest
+
+from repro.gateway.backhaul import BackhaulLink
+from repro.gateway.gateway import GalioTGateway
+from repro.gateway.rtlsdr import RtlSdrConfig, RtlSdrModel
+from repro.net.scene import SceneBuilder
+
+FS = 1e6
+
+
+def _scene(trio, rng, snr=12, collision=False):
+    builder = SceneBuilder(FS, 0.4)
+    by = {m.name: m for m in trio}
+    builder.add_packet(by["xbee"], b"pkt-one", 40_000, snr, rng, snr_mode="capture")
+    builder.add_packet(by["zwave"], b"pkt-two", 200_000, snr, rng, snr_mode="capture")
+    if collision:
+        builder.add_packet(
+            by["lora"], b"pkt-three", 205_000, snr, rng, snr_mode="capture"
+        )
+    return builder.render(rng)
+
+
+class TestGatewayPipeline:
+    def test_detect_extract_ship(self, trio, rng):
+        gateway = GalioTGateway(trio, FS, detector="universal", use_edge=False)
+        capture, truth = _scene(trio, rng)
+        report = gateway.process(capture, rng)
+        assert len(report.events) >= 2
+        assert report.segments
+        assert report.shipped  # no edge: everything detected is shipped
+        assert report.shipped_bits > 0
+        assert report.backhaul_saving > 1.0
+
+    def test_edge_keeps_clean_frames_local(self, trio, rng):
+        gateway = GalioTGateway(trio, FS, detector="universal", use_edge=True)
+        capture, _ = _scene(trio, rng, snr=10)
+        report = gateway.process(capture, rng)
+        payloads = {r.payload for r in report.edge_results}
+        assert {b"pkt-one", b"pkt-two"} <= payloads
+
+    def test_front_end_in_path(self, trio, rng):
+        front = RtlSdrModel(RtlSdrConfig(dc_offset=0.01))
+        gateway = GalioTGateway(
+            trio, FS, detector="universal", front_end=front, use_edge=True
+        )
+        capture, _ = _scene(trio, rng, snr=10)
+        report = gateway.process(capture, rng)
+        assert report.raw_bits == len(capture) * 2 * 8
+        payloads = {r.payload for r in report.edge_results}
+        assert b"pkt-one" in payloads
+
+    def test_detector_choices(self, trio, rng):
+        capture, _ = _scene(trio, rng, snr=10)
+        for detector in ("universal", "bank", "energy"):
+            gateway = GalioTGateway(trio, FS, detector=detector, use_edge=False)
+            report = gateway.process(capture, rng)
+            assert report.events, detector
+
+    def test_unknown_detector_rejected(self, trio):
+        with pytest.raises(ValueError):
+            GalioTGateway(trio, FS, detector="oracle")
+
+    def test_backhaul_accounting(self, trio, rng):
+        link = BackhaulLink(rate_bps=50e6)
+        gateway = GalioTGateway(
+            trio, FS, detector="universal", use_edge=False, backhaul=link
+        )
+        capture, _ = _scene(trio, rng)
+        report = gateway.process(capture, rng)
+        assert link.total_bits == report.shipped_bits
+
+    def test_backhaul_overflow_drops_segments(self, trio, rng):
+        link = BackhaulLink(rate_bps=1e3, max_queue_s=0.01)
+        gateway = GalioTGateway(
+            trio, FS, detector="universal", use_edge=False, backhaul=link
+        )
+        # Two packets far enough apart to produce two separate segments
+        # (segment span is 2x the largest frame, which is LoRa's).
+        by = {m.name: m for m in trio}
+        builder = SceneBuilder(FS, 1.0)
+        builder.add_packet(by["xbee"], b"seg-one", 40_000, 12, rng, snr_mode="capture")
+        builder.add_packet(by["xbee"], b"seg-two", 700_000, 12, rng, snr_mode="capture")
+        capture, _ = builder.render(rng)
+        report = gateway.process(capture, rng)
+        assert len(report.segments) >= 2
+        assert report.dropped_segments >= 1
+
+    def test_quiet_capture_ships_nothing(self, trio, rng):
+        gateway = GalioTGateway(trio, FS, detector="universal", use_edge=False)
+        noise = (rng.normal(size=400_000) + 1j * rng.normal(size=400_000)) / 2
+        report = gateway.process(noise, rng)
+        assert report.shipped_bits < 0.2 * report.raw_bits

@@ -1,0 +1,144 @@
+"""Tests for the frequency-hopping front end and learning scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.filters import frequency_shift
+from repro.errors import ConfigurationError
+from repro.gateway.hopping import (
+    ChannelPlan,
+    HoppingFrontend,
+    HopScheduler,
+    run_hopping_campaign,
+)
+from repro.gateway.universal import UniversalPreamble, UniversalPreambleDetector
+from repro.net.scene import SceneBuilder
+from repro.phy import create_modem
+
+WIDE_FS = 4e6
+CH_BW = 1e6
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return ChannelPlan.uniform(WIDE_FS, CH_BW, 4)
+
+
+class TestChannelPlan:
+    def test_uniform_layout(self, plan):
+        assert plan.n_channels == 4
+        assert plan.decimation == 4
+        assert plan.centers_hz == (-1.5e6, -0.5e6, 0.5e6, 1.5e6)
+
+    def test_too_many_channels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChannelPlan.uniform(2e6, 1e6, 3)
+
+    def test_non_integer_decimation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChannelPlan(wide_fs=3e6, channel_bw=0.9e6, centers_hz=(0.0,))
+
+    def test_out_of_band_channel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChannelPlan(wide_fs=4e6, channel_bw=1e6, centers_hz=(1.8e6,))
+
+
+class TestFrontend:
+    def test_extracts_the_right_channel(self, plan, xbee, rng):
+        # Place an XBee frame on channel 2 (+0.5 MHz) of the wide band.
+        from repro.dsp.resample import to_rate
+
+        wave = xbee.modulate(b"on-channel-2")
+        wide = np.zeros(int(WIDE_FS * 0.05), dtype=complex)
+        native = to_rate(wave, xbee.sample_rate, WIDE_FS)
+        native = frequency_shift(native, plan.centers_hz[2], WIDE_FS)
+        wide[5000 : 5000 + len(native)] += native
+        frontend = HoppingFrontend(plan)
+        on_channel = frontend.tune(wide, 2, 0, len(wide))
+        off_channel = frontend.tune(wide, 0, 0, len(wide))
+        assert np.mean(np.abs(on_channel) ** 2) > 50 * np.mean(
+            np.abs(off_channel) ** 2
+        )
+        frame = xbee.demodulate(on_channel)
+        assert frame.crc_ok and frame.payload == b"on-channel-2"
+
+    def test_unknown_channel_rejected(self, plan):
+        with pytest.raises(ConfigurationError):
+            HoppingFrontend(plan).tune(np.zeros(100, complex), 7, 0, 100)
+
+
+class TestScheduler:
+    def test_learns_busy_channel(self, rng):
+        sched = HopScheduler(n_channels=4, explore=0.1)
+        for _ in range(12):
+            sched.update(1, detections=2)
+            sched.update(0, detections=0)
+        probs = sched.probabilities()
+        assert probs[1] > 0.5
+        assert probs[1] > 4 * probs[0]
+
+    def test_exploration_floor(self):
+        sched = HopScheduler(n_channels=4, explore=0.2)
+        for _ in range(50):
+            sched.update(0, detections=4)
+        probs = sched.probabilities()
+        assert probs.min() >= 0.2 / 4 - 1e-9
+
+    def test_probabilities_sum_to_one(self):
+        sched = HopScheduler(n_channels=5)
+        assert HopScheduler(n_channels=5).probabilities().sum() == pytest.approx(1.0)
+        sched.update(2, 3)
+        assert sched.probabilities().sum() == pytest.approx(1.0)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HopScheduler(n_channels=0)
+        with pytest.raises(ConfigurationError):
+            HopScheduler(n_channels=2, explore=1.5)
+
+
+class TestCampaign:
+    def _wide_scene(self, plan, rng, busy_channel=1, n_packets=16):
+        """Traffic concentrated on one channel of the wide band."""
+        from repro.dsp.resample import to_rate
+
+        xbee = create_modem("xbee")
+        duration = 0.05 + 0.14 * n_packets + 0.1
+        wide = np.zeros(int(WIDE_FS * duration), dtype=complex)
+        for i in range(n_packets):
+            wave = to_rate(xbee.modulate(bytes([i]) * 6), xbee.sample_rate, WIDE_FS)
+            wave = frequency_shift(wave, plan.centers_hz[busy_channel], WIDE_FS)
+            start = int((0.05 + 0.14 * i) * WIDE_FS)
+            wide[start : start + len(wave)] += wave[: len(wide) - start]
+        noise = 0.05 * (
+            rng.normal(size=len(wide)) + 1j * rng.normal(size=len(wide))
+        )
+        return wide + noise
+
+    def _detector(self):
+        modems = [create_modem("xbee")]
+        universal = UniversalPreamble.build(modems, CH_BW)
+        return UniversalPreambleDetector(universal)
+
+    def test_learned_beats_round_robin(self, plan, rng):
+        wide = self._wide_scene(plan, rng)
+        dwell = int(0.1 * WIDE_FS)
+        detector = self._detector()
+        rr = run_hopping_campaign(
+            wide, plan, detector, dwell, np.random.default_rng(1)
+        )
+        sched = HopScheduler(n_channels=plan.n_channels, explore=0.2)
+        learned = run_hopping_campaign(
+            wide, plan, detector, dwell, np.random.default_rng(1), scheduler=sched
+        )
+        rr_hits = sum(d.detections for d in rr)
+        learned_hits = sum(d.detections for d in learned)
+        assert learned_hits >= rr_hits
+        # The scheduler should end up favouring the busy channel.
+        assert int(np.argmax(sched.weights)) == 1
+
+    def test_dwell_too_short_rejected(self, plan, rng):
+        with pytest.raises(ConfigurationError):
+            run_hopping_campaign(
+                np.zeros(100, complex), plan, self._detector(), 2, rng
+            )

@@ -1,0 +1,114 @@
+"""Unit tests for repro.dsp.impairments."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.impairments import (
+    apply_cfo,
+    apply_clock_drift,
+    apply_dc_offset,
+    apply_iq_imbalance,
+    apply_phase,
+    cfo_from_ppm,
+    quantize,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCfo:
+    def test_ppm_conversion(self):
+        assert cfo_from_ppm(1.0, 868e6) == pytest.approx(868.0)
+        assert cfo_from_ppm(-50.0, 868e6) == pytest.approx(-43_400.0)
+
+    def test_shifts_tone(self):
+        fs = 1e6
+        x = np.ones(4096, complex)
+        y = apply_cfo(x, 100e3, fs)
+        freqs = np.fft.fftfreq(len(y), 1 / fs)
+        peak = freqs[np.argmax(np.abs(np.fft.fft(y)))]
+        assert peak == pytest.approx(100e3, abs=fs / len(y))
+
+    def test_preserves_magnitude(self):
+        x = np.exp(1j * np.linspace(0, 5, 100))
+        y = apply_cfo(x, 1234.0, 1e6)
+        assert np.allclose(np.abs(y), np.abs(x))
+
+
+class TestPhase:
+    def test_rotation(self):
+        x = np.ones(4, complex)
+        assert np.allclose(apply_phase(x, np.pi), -1.0)
+
+
+class TestIqImbalance:
+    def test_identity_when_balanced(self):
+        x = np.exp(1j * np.linspace(0, 3, 64))
+        assert np.allclose(apply_iq_imbalance(x, 0.0, 0.0), x)
+
+    def test_creates_image_tone(self):
+        fs = 1e6
+        x = np.exp(2j * np.pi * 100e3 * np.arange(4096) / fs)
+        y = apply_iq_imbalance(x, gain_db=1.0, phase_deg=3.0)
+        spectrum = np.abs(np.fft.fft(y))
+        freqs = np.fft.fftfreq(len(y), 1 / fs)
+        signal = spectrum[np.argmin(np.abs(freqs - 100e3))]
+        image = spectrum[np.argmin(np.abs(freqs + 100e3))]
+        assert 0 < image < signal  # image exists but is weaker
+
+
+class TestDcOffset:
+    def test_adds_constant(self):
+        x = np.zeros(8, complex)
+        y = apply_dc_offset(x, 0.5 + 0.25j)
+        assert np.allclose(y, 0.5 + 0.25j)
+
+
+class TestQuantize:
+    def test_error_bounded_by_step(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=1000) + 1j * rng.normal(size=1000)
+        full_scale = 4.0
+        y = quantize(x, 8, full_scale)
+        step = 2 * full_scale / 256
+        inside = np.abs(x.real) < full_scale - step
+        assert np.max(np.abs(y.real[inside] - x.real[inside])) <= step / 2 + 1e-12
+
+    def test_clipping(self):
+        x = np.array([10.0 + 0j])
+        y = quantize(x, 8, 1.0)
+        assert y[0].real < 1.0
+
+    def test_one_bit(self):
+        x = np.array([0.7 - 0.7j, -0.3 + 0.1j])
+        y = quantize(x, 1, 1.0)
+        assert set(np.abs(y.real)) == {0.5}
+
+    def test_more_bits_less_error(self, rng):
+        x = rng.normal(size=2000) + 1j * rng.normal(size=2000)
+        err = lambda bits: np.mean(np.abs(quantize(x, bits, 5.0) - x) ** 2)
+        assert err(8) < err(4) < err(2)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ConfigurationError):
+            quantize(np.zeros(4, complex), 0, 1.0)
+        with pytest.raises(ConfigurationError):
+            quantize(np.zeros(4, complex), 8, 0.0)
+
+
+class TestClockDrift:
+    def test_zero_ppm_is_identity(self):
+        x = np.exp(1j * np.linspace(0, 3, 100))
+        assert np.allclose(apply_clock_drift(x, 0.0), x)
+
+    def test_positive_ppm_compresses(self):
+        x = np.exp(2j * np.pi * 0.01 * np.arange(100_000))
+        y = apply_clock_drift(x, 100.0)
+        assert len(y) < len(x)
+
+    def test_interpolation_accuracy(self):
+        # A slow tone survives 10 ppm drift with small error.
+        n = 10_000
+        x = np.exp(2j * np.pi * 1e-4 * np.arange(n))
+        y = apply_clock_drift(x, 10.0)
+        ref = np.exp(2j * np.pi * 1e-4 * np.arange(len(y)) * (1 + 10e-6))
+        assert np.max(np.abs(y - ref)) < 1e-3

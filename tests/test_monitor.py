@@ -1,0 +1,80 @@
+"""Tests for the spectrum occupancy monitor."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gateway.monitor import OccupancyMonitor
+from repro.phy import create_modem
+from repro.types import DecodeResult
+
+
+def _result(tech, ok=True):
+    return DecodeResult(technology=tech, payload=b"x", ok=ok)
+
+
+class TestMonitor:
+    def test_from_modems(self):
+        modems = [create_modem(n) for n in ("lora", "xbee")]
+        monitor = OccupancyMonitor.from_modems(modems)
+        assert set(monitor._airtimes) == {"lora", "xbee"}
+        assert monitor._airtimes["lora"] > monitor._airtimes["xbee"]
+
+    def test_duty_cycle_accounting(self):
+        monitor = OccupancyMonitor({"xbee": 0.05})
+        for t in range(10):
+            monitor.observe([_result("xbee")], at_time=float(t))
+        monitor.advance(10.0)
+        assert monitor.duty_cycle("xbee") == pytest.approx(0.05)
+
+    def test_failed_decodes_ignored(self):
+        monitor = OccupancyMonitor({"xbee": 0.05})
+        monitor.observe([_result("xbee", ok=False)], at_time=0.0)
+        monitor.advance(1.0)
+        assert monitor.duty_cycle("xbee") == 0.0
+
+    def test_interarrival(self):
+        monitor = OccupancyMonitor({"lora": 0.1})
+        for t in (0.0, 2.0, 4.0):
+            monitor.observe([_result("lora")], at_time=t)
+        stats = monitor.stats["lora"]
+        assert stats.mean_interarrival_s() == pytest.approx(2.0)
+
+    def test_busiest(self):
+        monitor = OccupancyMonitor({"lora": 0.2, "xbee": 0.01})
+        monitor.observe([_result("lora"), _result("xbee")], at_time=0.0)
+        assert monitor.busiest() == "lora"
+
+    def test_empty_monitor(self):
+        monitor = OccupancyMonitor({"lora": 0.1})
+        assert monitor.busiest() is None
+        assert monitor.duty_cycle("lora") == 0.0
+        assert monitor.summary() == []
+
+    def test_unknown_technology_gets_zero_airtime(self):
+        monitor = OccupancyMonitor({"lora": 0.1})
+        monitor.observe([_result("mystery")], at_time=0.0)
+        monitor.advance(1.0)
+        assert monitor.duty_cycle("mystery") == 0.0
+        assert monitor.stats["mystery"].frames == 1
+
+    def test_summary_rows(self):
+        monitor = OccupancyMonitor({"lora": 0.1, "zwave": 0.02})
+        monitor.observe([_result("lora")], at_time=0.0)
+        monitor.observe([_result("zwave")], at_time=1.0)
+        monitor.advance(2.0)
+        rows = monitor.summary()
+        assert [r[0] for r in rows] == ["lora", "zwave"]
+        assert rows[0][1] == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OccupancyMonitor({})
+        monitor = OccupancyMonitor({"lora": 0.1})
+        with pytest.raises(ConfigurationError):
+            monitor.advance(-1.0)
+
+    def test_duty_cycle_capped_at_one(self):
+        monitor = OccupancyMonitor({"lora": 10.0})
+        monitor.observe([_result("lora")], at_time=0.0)
+        monitor.advance(1.0)
+        assert monitor.duty_cycle("lora") == 1.0

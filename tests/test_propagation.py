@@ -1,0 +1,98 @@
+"""Tests for the propagation / deployment geometry module."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.propagation import (
+    LinkBudget,
+    PathLossModel,
+    Position,
+    deployment_snrs,
+)
+from repro.phy import create_modem
+
+
+class TestPosition:
+    def test_distance(self):
+        assert Position(0, 0).distance_to(Position(3, 4)) == pytest.approx(5.0)
+
+
+class TestPathLoss:
+    def test_reference_loss(self):
+        model = PathLossModel(exponent=2.0, reference_loss_db=31.0)
+        assert model.loss_db(1.0) == pytest.approx(31.0)
+
+    def test_slope_per_decade(self):
+        model = PathLossModel(exponent=3.0, reference_loss_db=31.0)
+        assert model.loss_db(10.0) - model.loss_db(1.0) == pytest.approx(30.0)
+
+    def test_clamped_below_reference(self):
+        model = PathLossModel()
+        assert model.loss_db(0.01) == model.loss_db(1.0)
+
+    def test_shadowing_needs_rng(self):
+        model = PathLossModel(shadowing_sigma_db=4.0)
+        with pytest.raises(ConfigurationError):
+            model.loss_db(10.0)
+
+    def test_shadowing_spreads_losses(self):
+        model = PathLossModel(shadowing_sigma_db=6.0)
+        rng = np.random.default_rng(1)
+        losses = [model.loss_db(10.0, rng) for _ in range(50)]
+        assert np.std(losses) == pytest.approx(6.0, rel=0.4)
+
+    def test_invalid_exponent_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PathLossModel(exponent=0.0)
+
+
+class TestLinkBudget:
+    def test_narrowband_wins_budget(self):
+        # Narrower bandwidth -> less noise -> more SNR at equal loss.
+        budget = LinkBudget()
+        lora = create_modem("lora")
+        sigfox = create_modem("sigfox")
+        loss = 120.0
+        assert budget.snr_db(loss, sigfox.bandwidth) > budget.snr_db(
+            loss, lora.bandwidth
+        )
+
+    def test_sane_home_range(self):
+        # 14 dBm into a ~3-exponent home: a LoRa device 30 m away should
+        # sit comfortably in the tens of dB of in-band SNR.
+        model = PathLossModel(exponent=2.9)
+        budget = LinkBudget()
+        lora = create_modem("lora")
+        loss = model.loss_db(30.0)
+        snr = budget.snr_db(loss, lora.bandwidth)
+        assert 20 < snr < 80
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkBudget().snr_db(100.0, 0.0)
+
+
+class TestDeployment:
+    def test_farther_devices_get_less_snr(self):
+        gateway = Position(0, 0)
+        lora = create_modem("lora")
+        snrs = deployment_snrs(
+            gateway,
+            [(Position(5, 0), lora), (Position(50, 0), lora)],
+        )
+        assert snrs[0] > snrs[1]
+
+    def test_feeds_the_simulator_devices(self):
+        # End-to-end wiring: geometry -> SNRs -> Device objects.
+        from repro.net.device import Device
+
+        gateway = Position(0, 0)
+        modems = [create_modem(n) for n in ("lora", "xbee", "zwave")]
+        spots = [Position(8, 3), Position(15, -4), Position(25, 10)]
+        snrs = deployment_snrs(gateway, list(zip(spots, modems)))
+        devices = [
+            Device(i, m.name, m, snr_db=snr)
+            for i, (m, snr) in enumerate(zip(modems, snrs))
+        ]
+        assert all(d.snr_db > 10 for d in devices)

@@ -1,0 +1,98 @@
+"""Unit tests for the Table-1 technology registry."""
+
+import pytest
+
+from repro.errors import UnknownTechnologyError
+from repro.phy import (
+    PROTOTYPE_TECHNOLOGIES,
+    ModulationClass,
+    all_technologies,
+    create_modem,
+    get_info,
+    implemented_technologies,
+    table1_rows,
+)
+
+
+class TestRegistryContents:
+    def test_paper_rows_present(self):
+        names = {info.display_name for info in all_technologies()}
+        for expected in (
+            "LoRa",
+            "Z-Wave",
+            "XBee",
+            "BLE",
+            "WiFi Halow",
+            "SigFox",
+            "Thread",
+            "WirelessHART",
+            "Weightless",
+            "NB-IoT",
+        ):
+            assert expected in names
+
+    def test_prototype_trio(self):
+        assert PROTOTYPE_TECHNOLOGIES == ("lora", "xbee", "zwave")
+        for name in PROTOTYPE_TECHNOLOGIES:
+            assert get_info(name).implemented
+
+    def test_modulation_classes_match_paper(self):
+        assert get_info("lora").modulation is ModulationClass.CSS
+        assert get_info("xbee").modulation is ModulationClass.FSK
+        assert get_info("zwave").modulation is ModulationClass.FSK
+        assert get_info("sigfox").modulation is ModulationClass.PSK
+        assert get_info("thread").modulation is ModulationClass.DSSS
+        assert get_info("nbiot").modulation is ModulationClass.OFDM
+
+    def test_future_work_rows_are_metadata_only(self):
+        assert not get_info("halow").implemented
+        assert not get_info("nbiot").implemented
+
+    def test_implemented_subset(self):
+        implemented = {i.name for i in implemented_technologies()}
+        assert {"lora", "xbee", "zwave", "ble", "sigfox", "oqpsk154"} <= implemented
+        assert "nbiot" not in implemented
+
+
+class TestFactory:
+    def test_create_assigns_registry_name(self):
+        modem = create_modem("thread")
+        assert modem.name == "thread"
+        assert type(modem).__name__ == "OQpsk154Modem"
+
+    def test_overrides_forwarded(self):
+        modem = create_modem("lora", sf=9, oversample=2)
+        assert modem.sf == 9
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownTechnologyError):
+            create_modem("wimax")
+
+    def test_metadata_only_raises(self):
+        with pytest.raises(UnknownTechnologyError):
+            create_modem("nbiot")
+
+    def test_get_info_unknown_raises(self):
+        with pytest.raises(UnknownTechnologyError):
+            get_info("lorawan2")
+
+
+class TestTable1Rows:
+    def test_row_count_and_fields(self):
+        rows = table1_rows()
+        assert len(rows) == 11
+        for row in rows:
+            assert set(row) == {
+                "technology",
+                "modulation",
+                "sync",
+                "preamble",
+                "implemented",
+            }
+
+    def test_paper_text_preserved(self):
+        rows = {r["technology"]: r for r in table1_rows()}
+        assert rows["LoRa"]["modulation"] == "CSS"
+        assert rows["LoRa"]["preamble"] == "sequence of 1s"
+        assert rows["XBee"]["preamble"] == "'01010101'"
+        assert rows["NB-IoT"]["modulation"] == "OFDMA"

@@ -1,0 +1,103 @@
+"""Unit tests for repro.dsp.resample."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.resample import (
+    decimate_integer,
+    fractional_delay,
+    resample_rational,
+    to_rate,
+    upsample_integer,
+)
+from repro.errors import ConfigurationError
+
+
+def _tone(freq, fs, n):
+    return np.exp(2j * np.pi * freq * np.arange(n) / fs)
+
+
+class TestIntegerResampling:
+    def test_upsample_length(self):
+        assert len(upsample_integer(np.ones(100, complex), 4)) == 400
+
+    def test_decimate_length(self):
+        assert len(decimate_integer(np.ones(400, complex), 4)) == 100
+
+    def test_factor_one_is_copy(self):
+        x = np.arange(10, dtype=complex)
+        y = upsample_integer(x, 1)
+        assert np.array_equal(x, y)
+        y[0] = 99  # must not alias the input
+        assert x[0] == 0
+
+    def test_tone_preserved_through_up_down(self):
+        fs = 100e3
+        x = _tone(5e3, fs, 2048)
+        y = decimate_integer(upsample_integer(x, 4), 4)
+        # Compare away from filter edges.
+        err = np.abs(y[200:-200] - x[200:-200])
+        assert np.max(err) < 0.02
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            upsample_integer(np.ones(4, complex), 0)
+
+
+class TestRational:
+    def test_4_over_5(self):
+        x = np.ones(1000, complex)
+        y = resample_rational(x, 4, 5)
+        assert len(y) == 800
+
+    def test_aliasing_protected(self):
+        fs = 1e6
+        x = _tone(300e3, fs, 8192)  # above the output Nyquist of 250 kHz
+        y = resample_rational(x, 1, 2)
+        assert np.mean(np.abs(y[100:-100]) ** 2) < 0.01
+
+
+class TestToRate:
+    def test_identity(self):
+        x = np.arange(8, dtype=complex)
+        assert np.array_equal(to_rate(x, 1e6, 1e6), x)
+
+    def test_downrate_4m_to_1m(self):
+        x = _tone(50e3, 4e6, 4096)
+        y = to_rate(x, 4e6, 1e6)
+        assert len(y) == 1024
+        ref = _tone(50e3, 1e6, 1024)
+        assert np.max(np.abs(y[50:-50] - ref[50:-50])) < 0.05
+
+    def test_uprate_16k_to_1m(self):
+        x = np.ones(160, complex)
+        y = to_rate(x, 16e3, 1e6)
+        assert len(y) == 10_000
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            to_rate(np.ones(4, complex), 0, 1e6)
+
+
+class TestFractionalDelay:
+    def test_integer_part(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0], dtype=complex)
+        y = fractional_delay(x, 2.0)
+        assert np.allclose(y, [0, 0, 1, 2])
+
+    def test_half_sample(self):
+        x = np.array([0.0, 1.0, 1.0, 1.0], dtype=complex)
+        y = fractional_delay(x, 0.5)
+        assert y[1] == pytest.approx(0.5)
+
+    def test_length_preserved(self):
+        x = np.ones(10, complex)
+        assert len(fractional_delay(x, 3.7)) == 10
+
+    def test_delay_past_end(self):
+        x = np.ones(5, complex)
+        assert np.all(fractional_delay(x, 10.0) == 0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fractional_delay(np.ones(5, complex), -1.0)

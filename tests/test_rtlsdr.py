@@ -1,0 +1,90 @@
+"""Unit tests for the RTL-SDR front-end model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gateway.rtlsdr import RtlSdrConfig, RtlSdrModel
+
+
+def _tone(freq, fs, n=8192):
+    return np.exp(2j * np.pi * freq * np.arange(n) / fs)
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = RtlSdrConfig()
+        assert cfg.sample_rate == 1e6
+        assert cfg.carrier_hz == 868e6
+        assert cfg.adc_bits == 8
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RtlSdrConfig(sample_rate=0)
+        with pytest.raises(ConfigurationError):
+            RtlSdrConfig(adc_bits=0)
+        with pytest.raises(ConfigurationError):
+            RtlSdrConfig(agc_headroom_db=-1)
+
+
+class TestCapture:
+    def test_quantization_error_bounded(self, rng):
+        model = RtlSdrModel()
+        x = rng.normal(size=4096) + 1j * rng.normal(size=4096)
+        y = model.capture(x, rng)
+        # 8 bits with 12 dB headroom: error well below the signal.
+        err = np.mean(np.abs(y - x) ** 2) / np.mean(np.abs(x) ** 2)
+        assert err < 1e-2
+
+    def test_cfo_applied(self, rng):
+        model = RtlSdrModel(RtlSdrConfig(ppm=10.0))
+        assert model.cfo_hz == pytest.approx(8680.0)
+        fs = 1e6
+        y = model.capture(_tone(0, fs), rng)
+        freqs = np.fft.fftfreq(len(y), 1 / fs)
+        peak = freqs[np.argmax(np.abs(np.fft.fft(y)))]
+        assert peak == pytest.approx(8680.0, abs=fs / len(y))
+
+    def test_dc_offset_creates_spike(self, rng):
+        model = RtlSdrModel(RtlSdrConfig(dc_offset=0.05))
+        y = model.capture(_tone(100e3, 1e6), rng)
+        spectrum = np.abs(np.fft.fft(y))
+        freqs = np.fft.fftfreq(len(y), 1e-6)
+        dc_bin = spectrum[np.argmin(np.abs(freqs))]
+        median = np.median(spectrum)
+        assert dc_bin > 20 * median
+
+    def test_iq_imbalance_creates_image(self, rng):
+        model = RtlSdrModel(RtlSdrConfig(iq_gain_db=0.5, iq_phase_deg=2.0))
+        fs = 1e6
+        y = model.capture(_tone(150e3, fs), rng)
+        spectrum = np.abs(np.fft.fft(y))
+        freqs = np.fft.fftfreq(len(y), 1 / fs)
+        image = spectrum[np.argmin(np.abs(freqs + 150e3))]
+        signal = spectrum[np.argmin(np.abs(freqs - 150e3))]
+        assert signal > image > np.median(spectrum)
+
+    def test_noise_floor_requires_rng(self):
+        model = RtlSdrModel(RtlSdrConfig(noise_floor=0.1))
+        with pytest.raises(ConfigurationError):
+            model.capture(np.ones(16, complex), None)
+
+    def test_silent_input(self, rng):
+        model = RtlSdrModel()
+        y = model.capture(np.zeros(64, complex), rng)
+        assert np.all(y == 0)
+
+    def test_raw_backhaul_cost(self):
+        model = RtlSdrModel()
+        assert model.bits_per_second_raw() == 16e6  # 1 MHz x 2 x 8 bit
+
+    def test_decode_survives_front_end(self, rng, xbee):
+        # End-to-end sanity: the 8-bit front end must not break decoding.
+        model = RtlSdrModel(RtlSdrConfig(dc_offset=0.01, iq_gain_db=0.2))
+        payload = b"through-the-dongle"
+        wave = np.concatenate(
+            [np.zeros(500, complex), xbee.modulate(payload), np.zeros(500, complex)]
+        )
+        captured = model.capture(wave, rng)
+        frame = xbee.demodulate(captured)
+        assert frame.crc_ok and frame.payload == payload

@@ -1,0 +1,99 @@
+"""SigFox and 802.15.4 O-QPSK modem specifics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ChecksumError, ConfigurationError
+from repro.phy.oqpsk154 import OQpsk154Modem
+from repro.phy.sigfox import SigfoxModem
+
+
+def _padded(iq, n=300):
+    z = np.zeros(n, complex)
+    return np.concatenate([z, iq, z])
+
+
+class TestSigfox:
+    def test_ultra_narrow_band(self, sigfox):
+        assert sigfox.bandwidth == pytest.approx(200.0)
+        assert sigfox.bit_rate == pytest.approx(100.0)
+
+    def test_twelve_byte_limit(self, sigfox):
+        assert sigfox.max_payload == 12
+        with pytest.raises(ConfigurationError):
+            sigfox.modulate(bytes(13))
+
+    def test_occupied_bandwidth_is_tiny(self, sigfox):
+        from repro.dsp.measure import occupied_bandwidth
+
+        wave = sigfox.modulate(b"narrow")
+        obw = occupied_bandwidth(wave, sigfox.sample_rate, fraction=0.95)
+        assert obw < 4 * sigfox.bit_rate
+
+    def test_differential_continuity_across_header(self, sigfox):
+        # The whole frame is one differential stream: decoding payload
+        # bits mid-frame must use the previous symbol as reference.
+        payload = b"diff-stream!"
+        frame = sigfox.demodulate(_padded(sigfox.modulate(payload)))
+        assert frame.crc_ok and frame.payload == payload
+
+    def test_length_validated(self, sigfox):
+        wave = sigfox.modulate(b"ok")
+        bad = wave.copy()
+        # Corrupt the length byte region (bits 32..40 of the frame).
+        at = 32 * sigfox.sps
+        bad[at : at + 8 * sigfox.sps] *= -1
+        try:
+            frame = sigfox.demodulate(_padded(bad))
+            assert not frame.crc_ok
+        except ChecksumError:
+            pass
+
+
+class TestOqpsk154:
+    def test_rates(self, oqpsk):
+        assert oqpsk.bit_rate == pytest.approx(250e3)
+        assert oqpsk.sample_rate == pytest.approx(4e6)
+
+    def test_chip_errors_reported(self, oqpsk, rng):
+        wave = oqpsk.modulate(b"chips")
+        noisy = wave + 0.3 * (
+            rng.normal(size=len(wave)) + 1j * rng.normal(size=len(wave))
+        )
+        frame = oqpsk.demodulate(_padded(noisy))
+        assert frame.crc_ok
+        assert frame.extra["chip_errors"] >= 0
+
+    def test_dsss_noise_robustness(self, oqpsk, rng):
+        # 32-chip spreading survives heavy chip-level noise.
+        payload = b"spread-spectrum"
+        wave = oqpsk.modulate(payload)
+        noisy = wave + 0.5 * (
+            rng.normal(size=len(wave)) + 1j * rng.normal(size=len(wave))
+        )
+        frame = oqpsk.demodulate(_padded(noisy))
+        assert frame.crc_ok and frame.payload == payload
+
+    def test_invalid_sps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OQpsk154Modem(sps=3)
+
+    def test_phase_correction_from_preamble(self, oqpsk):
+        # O-QPSK is phase-coherent; the modem must self-correct a
+        # constant rotation (derotation from the sync correlation).
+        payload = b"rotate-me"
+        for phase in (0.7, -2.2, 3.1):
+            wave = _padded(oqpsk.modulate(payload)) * np.exp(1j * phase)
+            frame = oqpsk.demodulate(wave)
+            assert frame.crc_ok and frame.payload == payload, phase
+
+    def test_psdu_length_validated(self, oqpsk):
+        wave = oqpsk.modulate(b"z")
+        bad = wave.copy()
+        prefix = len(oqpsk.sync_waveform())
+        bad[prefix : prefix + 64] = 0  # clobber the PHR symbols
+        try:
+            frame = oqpsk.demodulate(_padded(bad))
+            assert not frame.crc_ok
+        except ChecksumError:
+            pass

@@ -1,0 +1,87 @@
+"""Closed-loop network simulator tests (devices -> gateway -> cloud -> MAC)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.pipeline import CloudService
+from repro.errors import ConfigurationError
+from repro.gateway.gateway import GalioTGateway
+from repro.net.device import Device
+from repro.net.simulator import NetworkSimulator, match_decodes
+from repro.types import DecodeResult, PacketTruth
+
+FS = 1e6
+
+
+def _devices(trio, snr=14.0, interval=0.6):
+    return [
+        Device(
+            device_id=i,
+            technology=m.name,
+            modem=m,
+            mean_interval_s=interval,
+            payload_range=(6, 10),
+            snr_db=snr,
+        )
+        for i, m in enumerate(trio)
+    ]
+
+
+class TestMatchDecodes:
+    def test_payload_and_technology_must_agree(self):
+        packets = [
+            PacketTruth(0, "xbee", 100, 500, 0.0, b"abc"),
+            PacketTruth(1, "lora", 700, 500, 0.0, b"abc"),
+        ]
+        decodes = [DecodeResult("lora", b"abc", True)]
+        assert match_decodes(decodes, packets) == {1}
+
+    def test_failed_decode_ignored(self):
+        packets = [PacketTruth(0, "xbee", 0, 10, 0.0, b"x")]
+        decodes = [DecodeResult("xbee", b"x", False)]
+        assert match_decodes(decodes, packets) == set()
+
+    def test_duplicate_decode_claims_one_packet(self):
+        packets = [PacketTruth(0, "xbee", 0, 10, 0.0, b"x")]
+        decodes = [
+            DecodeResult("xbee", b"x", True),
+            DecodeResult("xbee", b"x", True),
+        ]
+        assert match_decodes(decodes, packets) == {0}
+
+
+class TestSimulator:
+    @pytest.fixture(scope="class")
+    def run_result(self, trio):
+        gateway = GalioTGateway(trio, FS, detector="universal", use_edge=True)
+        cloud = CloudService(trio, FS)
+        sim = NetworkSimulator(
+            _devices(trio), gateway, cloud, FS, round_s=0.4, max_attempts=3
+        )
+        return sim.run(rounds=2, rng=np.random.default_rng(99))
+
+    def test_delivery_at_moderate_snr(self, run_result):
+        assert run_result.offered_frames > 0
+        assert run_result.delivery_ratio > 0.7
+
+    def test_throughput_positive(self, run_result):
+        assert run_result.throughput_bps > 0
+        assert run_result.elapsed_s == pytest.approx(0.8)
+
+    def test_energy_ledger_populated(self, run_result):
+        assert run_result.energy.elapsed_s == pytest.approx(0.8)
+        assert sum(run_result.energy.tx_energy_j.values()) > 0
+
+    def test_per_technology_accounting(self, run_result):
+        for tech, (got, offered) in run_result.per_technology.items():
+            assert 0 <= got <= offered
+
+    def test_transmissions_at_least_offered_frames(self, run_result):
+        delivered_or_tried = run_result.transmissions
+        assert delivered_or_tried >= run_result.delivered_frames
+
+    def test_empty_devices_rejected(self, trio):
+        gateway = GalioTGateway(trio, FS)
+        cloud = CloudService(trio, FS)
+        with pytest.raises(ConfigurationError):
+            NetworkSimulator([], gateway, cloud)

@@ -1,0 +1,102 @@
+"""Tests for Manchester line coding and the G.9959 R1/R2/R3 profiles."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.phy.zwave import ZWaveModem
+from repro.phy.zwave.modem import ZWAVE_PROFILES
+from repro.utils.line_coding import manchester_decode, manchester_encode
+
+
+class TestManchester:
+    def test_symbols(self):
+        assert manchester_encode([1, 0]).tolist() == [1, 0, 0, 1]
+
+    def test_dc_free(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, 200)
+        encoded = manchester_encode(bits)
+        assert int(encoded.sum()) == len(bits)  # exactly half ones
+
+    @given(st.lists(st.integers(0, 1), max_size=64))
+    def test_roundtrip(self, bits):
+        out, violations = manchester_decode(manchester_encode(bits))
+        assert out.tolist() == bits
+        assert violations == 0
+
+    def test_violations_counted(self):
+        encoded = manchester_encode([1, 1, 0]).tolist()
+        encoded[1] ^= 1  # make the first pair 11
+        bits, violations = manchester_decode(encoded)
+        assert violations == 1
+        assert bits[0] == 1  # first half-bit decides
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError):
+            manchester_decode([1, 0, 1])
+
+
+class TestZWaveProfiles:
+    @pytest.mark.parametrize("profile", ["R1", "R2", "R3"])
+    def test_roundtrip(self, profile):
+        modem = ZWaveModem(profile=profile)
+        payload = b"profile " + profile.encode()
+        seg = np.concatenate(
+            [np.zeros(400, complex), modem.modulate(payload), np.zeros(400, complex)]
+        )
+        frame = modem.demodulate(seg)
+        assert frame.crc_ok and frame.payload == payload
+
+    def test_profile_rates(self):
+        assert ZWaveModem(profile="R1").bit_rate == pytest.approx(9.6e3)
+        assert ZWaveModem(profile="R2").bit_rate == pytest.approx(40e3)
+        assert ZWaveModem(profile="R3").bit_rate == pytest.approx(100e3)
+
+    def test_r1_is_manchester_coded(self):
+        # Manchester doubles the on-air symbol rate: an R1 frame of the
+        # same payload takes > 2x the airtime per bit of R2.
+        r1 = ZWaveModem(profile="R1")
+        r2 = ZWaveModem(profile="R2")
+        assert r1.frame_airtime(10) > 3 * r2.frame_airtime(10)
+
+    def test_r3_uses_wider_deviation(self):
+        r2 = ZWaveModem(profile="R2")
+        r3 = ZWaveModem(profile="R3")
+        assert r3.bandwidth > r2.bandwidth
+        assert ZWAVE_PROFILES["R3"]["deviation_hz"] == pytest.approx(29e3)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ZWaveModem(profile="R9")
+
+    def test_overrides_beat_profile(self):
+        modem = ZWaveModem(profile="R2", bit_rate=50e3, sps=20)
+        assert modem.bit_rate == pytest.approx(50e3)
+        assert modem.sample_rate == pytest.approx(1e6)
+
+    def test_r1_noise_robustness(self, rng):
+        # Manchester + low rate: R1 should survive noise R3 cannot.
+        payload = b"robust"
+        results = {}
+        for profile in ("R1", "R3"):
+            modem = ZWaveModem(profile=profile)
+            ok = 0
+            for _ in range(4):
+                wave = modem.modulate(payload)
+                noise_power = float(np.mean(np.abs(wave) ** 2)) / 10 ** (7.0 / 10)
+                seg = np.concatenate(
+                    [np.zeros(300, complex), wave, np.zeros(300, complex)]
+                )
+                noise = np.sqrt(noise_power / 2) * (
+                    rng.normal(size=len(seg)) + 1j * rng.normal(size=len(seg))
+                )
+                try:
+                    frame = modem.demodulate(seg + noise)
+                    ok += frame.crc_ok and frame.payload == payload
+                except Exception:
+                    pass
+            results[profile] = ok
+        assert results["R1"] >= results["R3"]
