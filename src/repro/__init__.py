@@ -31,6 +31,7 @@ from .errors import (
     ReproError,
     UnknownTechnologyError,
 )
+from .telemetry import NULL, NullTelemetry, Telemetry, format_snapshot
 from .types import DecodeResult, DetectionEvent, PacketTruth, SceneTruth, Segment
 
 __all__ = [
@@ -42,6 +43,10 @@ __all__ = [
     "ChecksumError",
     "CapacityError",
     "UnknownTechnologyError",
+    "Telemetry",
+    "NullTelemetry",
+    "NULL",
+    "format_snapshot",
     "PacketTruth",
     "DetectionEvent",
     "Segment",

@@ -1,12 +1,20 @@
-"""Command-line entry point: ``galiot <experiment>``.
+"""Command-line entry point: ``galiot <command>``.
 
-Runs any of the paper-reproduction experiments and prints its table.
+Two families of subcommands:
+
+* one per paper-reproduction experiment (``galiot table1``,
+  ``galiot fig3b --trials 5`` …) printing its table;
+* ``galiot stream`` — run the chunked :class:`~repro.gateway.streaming.
+  StreamingGateway` over a synthetic scene with live telemetry and print
+  the per-chunk progress plus the end-to-end stage breakdown.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+import numpy as np
 
 from .experiments import (
     format_table,
@@ -26,6 +34,7 @@ from .experiments import (
     run_sic_depth,
     run_table1,
 )
+from .telemetry import Telemetry, format_snapshot
 
 _EXPERIMENTS = {
     "table1": lambda args: run_table1(),
@@ -48,26 +57,122 @@ _EXPERIMENTS = {
 }
 
 
+def _run_experiment(args: argparse.Namespace) -> int:
+    table = _EXPERIMENTS[args.command](args)
+    print(format_table(table))
+    return 0
+
+
+def _run_stream(args: argparse.Namespace) -> int:
+    """Chunked streaming demo: scene -> StreamingGateway -> telemetry."""
+    from .gateway import GalioTGateway, StreamingGateway, iter_chunks
+    from .net.scene import SceneBuilder
+    from .phy import create_modem
+
+    fs = 1e6
+    rng = np.random.default_rng(args.seed)
+    modems = [create_modem(n) for n in ("lora", "xbee", "zwave")]
+    builder = SceneBuilder(fs, args.duration)
+    n_samples = int(args.duration * fs)
+    for i in range(args.packets):
+        modem = modems[i % len(modems)]
+        start = int((i + 0.5) * n_samples / args.packets)
+        builder.add_packet(
+            modem, f"stream-{i}".encode(), start, args.snr, rng,
+            snr_mode="capture",
+        )
+    capture, truth = builder.render(rng)
+
+    telemetry = Telemetry()
+    gateway = GalioTGateway(
+        modems, fs, detector=args.detector, telemetry=telemetry
+    )
+    # Freeze the operating point on a noise-only stretch so every chunk
+    # (and a monolithic rerun) shares one threshold.
+    noise = (
+        rng.normal(size=200_000) + 1j * rng.normal(size=200_000)
+    ) * np.sqrt(truth.noise_power / 2)
+    gateway.detector.calibrate(noise)
+
+    stream = StreamingGateway(gateway)
+    total_events = total_segments = total_bits = 0
+    for n, report in enumerate(
+        stream.run(iter_chunks(capture, args.chunk))
+    ):
+        total_events += len(report.events)
+        total_segments += len(report.segments)
+        total_bits += report.shipped_bits
+        label = f"chunk {n:3d}" if n * args.chunk < len(capture) else "finalize"
+        print(
+            f"{label}: +{len(report.events)} events, "
+            f"+{len(report.segments)} segments, "
+            f"+{report.shipped_bits} bits shipped"
+        )
+    print(
+        f"\ntotals: {total_events} events, {total_segments} segments, "
+        f"{total_bits} bits shipped "
+        f"({args.packets} packets in {args.duration:.2f} s of capture)\n"
+    )
+    print(format_snapshot(telemetry.snapshot()))
+    return 0
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Parse arguments, run one experiment, print its table."""
+    """Parse arguments and dispatch one subcommand."""
     parser = argparse.ArgumentParser(
         prog="galiot",
         description=(
-            "GalioT (HotNets'18) reproduction experiments: regenerate the "
-            "paper's tables and figures from the simulated prototype."
+            "GalioT (HotNets'18) reproduction: regenerate the paper's "
+            "tables and figures, or drive the streaming gateway."
         ),
     )
-    parser.add_argument("experiment", choices=sorted(_EXPERIMENTS))
-    parser.add_argument(
-        "--trials",
-        type=int,
-        default=3,
-        help="scenes/episodes per band or bucket (larger = smoother)",
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in sorted(_EXPERIMENTS):
+        exp = sub.add_parser(name, help=f"run the {name} experiment")
+        exp.add_argument(
+            "--trials",
+            type=int,
+            default=3,
+            help="scenes/episodes per band or bucket (larger = smoother)",
+        )
+        exp.set_defaults(func=_run_experiment)
+    stream = sub.add_parser(
+        "stream",
+        help="run the chunked streaming gateway with end-to-end telemetry",
     )
+    stream.add_argument(
+        "--chunk", type=_positive_int, default=262_144,
+        help="chunk size in samples (default: 262144)",
+    )
+    stream.add_argument(
+        "--duration", type=float, default=1.0,
+        help="scene duration in seconds (default: 1.0)",
+    )
+    stream.add_argument(
+        "--packets", type=_positive_int, default=6,
+        help="packets placed in the scene (default: 6)",
+    )
+    stream.add_argument(
+        "--snr", type=float, default=10.0,
+        help="per-packet capture SNR in dB (default: 10)",
+    )
+    stream.add_argument(
+        "--detector", choices=["universal", "bank", "energy"],
+        default="universal", help="detector to stream (default: universal)",
+    )
+    stream.add_argument(
+        "--seed", type=int, default=0xC0FFEE, help="scene RNG seed"
+    )
+    stream.set_defaults(func=_run_stream)
     args = parser.parse_args(argv)
-    table = _EXPERIMENTS[args.experiment](args)
-    print(format_table(table))
-    return 0
+    return args.func(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

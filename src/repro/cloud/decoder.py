@@ -32,6 +32,7 @@ import numpy as np
 from ..dsp.resample import to_rate
 from ..errors import ConfigurationError
 from ..phy.base import Modem
+from ..telemetry import NULL, Telemetry
 from ..types import DecodeResult
 from .classify import ClassifiedSignal, SegmentClassifier
 from .kill_filters import kill_filter_for
@@ -72,6 +73,7 @@ class CloudDecoder:
             is ``use_kill_filters=True, strict_order=False``.
         max_iterations: Safety bound on the decode loop.
         classifier_k: CFAR factor handed to the classifier.
+        telemetry: Metrics sink (the shared no-op by default).
     """
 
     def __init__(
@@ -82,6 +84,7 @@ class CloudDecoder:
         strict_order: bool = False,
         max_iterations: int = 12,
         classifier_k: float = 8.0,
+        telemetry: Telemetry = NULL,
     ):
         if not modems:
             raise ConfigurationError("at least one modem is required")
@@ -91,6 +94,7 @@ class CloudDecoder:
         self.strict_order = strict_order
         self.max_iterations = int(max_iterations)
         self.classifier = SegmentClassifier(modems, fs, k=classifier_k)
+        self.telemetry = telemetry
 
     @classmethod
     def galiot(cls, modems: list[Modem], fs: float, **kwargs) -> "CloudDecoder":
@@ -183,6 +187,15 @@ class CloudDecoder:
 
     def decode(self, samples: np.ndarray) -> CloudDecodeReport:
         """Run CLOUDDECODE over one segment."""
+        with self.telemetry.span("cloud.decode"):
+            report = self._decode(samples)
+        self.telemetry.count("cloud.segments")
+        self.telemetry.count("cloud.frames", len(report.results))
+        self.telemetry.count("cloud.kill_invocations", report.kill_invocations)
+        self.telemetry.count("cloud.sic_cancellations", report.sic_cancellations)
+        return report
+
+    def _decode(self, samples: np.ndarray) -> CloudDecodeReport:
         report = CloudDecodeReport()
         report.candidates = self.classifier.classify(samples)
         working = np.asarray(samples, dtype=complex).copy()

@@ -92,12 +92,19 @@ class SlaPolicy:
 
 @dataclass(frozen=True)
 class Assignment:
-    """Outcome of dispatching one segment."""
+    """Outcome of dispatching one segment.
+
+    ``service_s`` is the wall-clock the node itself spends on the
+    segment (I/Q duration divided by node speed) — it excludes FIFO
+    queue wait and network RTT, which belong to latency accounting,
+    not node load.
+    """
 
     node: str
     submitted_at: float
     completes_at: float
     deadline_at: float
+    service_s: float = 0.0
 
     @property
     def meets_sla(self) -> bool:
@@ -158,6 +165,7 @@ class Dispatcher:
             submitted_at=at_time,
             completes_at=done,
             deadline_at=deadline,
+            service_s=duration / chosen.speed,
         )
         self.assignments.append(assignment)
         return assignment
@@ -171,9 +179,12 @@ class Dispatcher:
         return misses / len(self.assignments)
 
     def load(self, node_name: str) -> float:
-        """Total segment-seconds committed to one node."""
+        """Total service seconds committed to one node.
+
+        Sums only the time the node actually spends decoding — queue
+        wait and RTT are excluded, so two queued segments on one node
+        load it by exactly the sum of their service times.
+        """
         return sum(
-            a.completes_at - a.submitted_at
-            for a in self.assignments
-            if a.node == node_name
+            a.service_s for a in self.assignments if a.node == node_name
         )

@@ -32,7 +32,6 @@ from ..dsp.chirp import base_downchirp, base_upchirp
 from ..dsp.filters import fft_notch
 from ..errors import ConfigurationError
 from ..phy.base import Modem, ModulationClass
-from ..phy.dsss import IEEE154_CHIPS
 from ..phy.fsk import fsk_modulate  # noqa: F401  (re-exported for tests)
 from .classify import ClassifiedSignal
 

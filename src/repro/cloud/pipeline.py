@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 
 from ..gateway.compression import CompressedSegment, SegmentCodec
 from ..phy.base import Modem
+from ..telemetry import NULL, Telemetry
 from ..types import DecodeResult, Segment
 from .decoder import CloudDecodeReport, CloudDecoder
 
@@ -51,6 +52,8 @@ class CloudService:
         fs: Capture sample rate of arriving segments.
         use_kill_filters: False runs the SIC-only baseline.
         codec: Wire codec for compressed segments.
+        telemetry: Metrics sink threaded into the decoder and codec
+            (the shared no-op by default).
     """
 
     def __init__(
@@ -60,19 +63,25 @@ class CloudService:
         use_kill_filters: bool = True,
         strict_order: bool = False,
         codec: SegmentCodec | None = None,
+        telemetry: Telemetry = NULL,
     ):
+        self.telemetry = telemetry
         self.decoder = CloudDecoder(
             modems,
             fs,
             use_kill_filters=use_kill_filters,
             strict_order=strict_order,
+            telemetry=telemetry,
         )
-        self.codec = codec or SegmentCodec()
+        self.codec = codec or SegmentCodec(telemetry=telemetry)
+        if self.codec.telemetry is NULL:
+            self.codec.telemetry = telemetry
         self.stats = CloudStats()
 
     def process_segment(self, segment: Segment) -> list[DecodeResult]:
         """Joint-decode one (already decompressed) segment."""
-        report = self.decoder.decode(segment.samples)
+        with self.telemetry.span("cloud.pipeline"):
+            report = self.decoder.decode(segment.samples)
         self.stats.absorb(report)
         # Re-base frame starts onto capture-time sample indices.
         return [

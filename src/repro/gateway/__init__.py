@@ -30,6 +30,7 @@ from .hopping import (
     run_hopping_campaign,
 )
 from .rtlsdr import RtlSdrConfig, RtlSdrModel
+from .streaming import StreamingGateway, detector_context, iter_chunks
 from .universal import UniversalPreamble, UniversalPreambleDetector
 
 __all__ = [
@@ -61,6 +62,9 @@ __all__ = [
     "run_hopping_campaign",
     "RtlSdrConfig",
     "RtlSdrModel",
+    "StreamingGateway",
+    "detector_context",
+    "iter_chunks",
     "UniversalPreamble",
     "UniversalPreambleDetector",
 ]

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import CapacityError, ConfigurationError
+from ..telemetry import NULL, Telemetry
 
 __all__ = ["Shipment", "BackhaulLink"]
 
@@ -41,12 +42,14 @@ class BackhaulLink:
         max_queue_s: Refuse shipments once the queue backlog exceeds
             this many seconds of serialization (models a bounded buffer
             on the Raspberry Pi).
+        telemetry: Metrics sink (the shared no-op by default).
     """
 
     rate_bps: float = 10e6
     latency_s: float = 20e-3
     max_queue_s: float = 30.0
     shipments: list[Shipment] = field(default_factory=list)
+    telemetry: Telemetry = field(default=NULL, repr=False, compare=False)
     _busy_until: float = 0.0
 
     def __post_init__(self) -> None:
@@ -65,7 +68,9 @@ class BackhaulLink:
             raise ConfigurationError("n_bits must be >= 0")
         start = max(at_time, self._busy_until)
         backlog = start - at_time
+        self.telemetry.gauge("backhaul.backlog_s", backlog)
         if backlog > self.max_queue_s:
+            self.telemetry.count("backhaul.drops")
             raise CapacityError(
                 f"backhaul backlog {backlog:.1f}s exceeds {self.max_queue_s:.1f}s"
             )
@@ -78,6 +83,8 @@ class BackhaulLink:
             arrived_at=done + self.latency_s,
         )
         self.shipments.append(shipment)
+        self.telemetry.count("backhaul.shipments")
+        self.telemetry.count("backhaul.shipped_bits", n_bits)
         return shipment
 
     @property

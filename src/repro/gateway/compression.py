@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..telemetry import NULL, Telemetry
 from ..types import Segment
 
 __all__ = ["CompressedSegment", "CompressionStats", "SegmentCodec"]
@@ -50,7 +51,13 @@ class CompressionStats:
 
     @property
     def ratio(self) -> float:
-        """Compression ratio (>1 means the codec helped)."""
+        """Compression ratio (>1 means the codec helped).
+
+        The degenerate empty segment (0 raw bits) reports 1.0 — nothing
+        was compressed, so nothing was gained or lost.
+        """
+        if self.raw_bits <= 0:
+            return 1.0
         if self.shipped_bits <= 0:
             return float("inf")
         return self.raw_bits / self.shipped_bits
@@ -62,18 +69,28 @@ class SegmentCodec:
     Args:
         bits: Bits per rail after requantization (1..8).
         level: zlib compression level.
+        telemetry: Metrics sink (the shared no-op by default).
     """
 
-    def __init__(self, bits: int = 8, level: int = 6):
+    def __init__(self, bits: int = 8, level: int = 6, telemetry: Telemetry = NULL):
         if not 1 <= bits <= 8:
             raise ConfigurationError("bits must be in 1..8")
         if not 0 <= level <= 9:
             raise ConfigurationError("level must be in 0..9")
         self.bits = bits
         self.level = level
+        self.telemetry = telemetry
 
     def compress(self, segment: Segment) -> tuple[CompressedSegment, CompressionStats]:
         """Encode a segment; returns the wire blob and its stats."""
+        with self.telemetry.span("compress"):
+            blob, stats = self._compress(segment)
+        self.telemetry.count("compress.segments")
+        self.telemetry.count("compress.raw_bits", stats.raw_bits)
+        self.telemetry.count("compress.shipped_bits", stats.shipped_bits)
+        return blob, stats
+
+    def _compress(self, segment: Segment) -> tuple[CompressedSegment, CompressionStats]:
         x = segment.samples
         peak = float(np.max(np.abs(np.concatenate([x.real, x.imag])))) if len(x) else 0.0
         scale = peak if peak > 0 else 1.0
@@ -97,6 +114,10 @@ class SegmentCodec:
 
     def decompress(self, compressed: CompressedSegment) -> Segment:
         """Decode a wire blob back into a (quantized) segment."""
+        with self.telemetry.span("decompress"):
+            return self._decompress(compressed)
+
+    def _decompress(self, compressed: CompressedSegment) -> Segment:
         header = compressed.blob[: _HEADER.size]
         start, n, fs, scale, bits = _HEADER.unpack(header)
         inter = np.frombuffer(

@@ -20,7 +20,7 @@ any absolute noise level.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -29,6 +29,7 @@ from ..dsp.filters import moving_average
 from ..dsp.resample import to_rate
 from ..errors import ConfigurationError
 from ..phy.base import Modem
+from ..telemetry import NULL, Telemetry
 from ..types import DetectionEvent
 
 __all__ = [
@@ -84,15 +85,17 @@ def matched_filter_track(
         raise ConfigurationError("template has zero energy")
     if block is None:
         return np.abs(cross_correlate(x, template)) / norm
-    n_blocks = max(len(template) // block, 1)
+    # Ceiling division: the final (possibly partial) block must enter the
+    # accumulation, otherwise the remainder tail's energy is correlated by
+    # nobody while ``norm`` still charges for it, biasing every score low
+    # whenever len(template) % block != 0.
+    n_blocks = -(-len(template) // block)
     out_len = len(x) - len(template) + 1
     if out_len <= 0:
         raise ConfigurationError("template longer than signal")
     acc = np.zeros(out_len)
     for b in range(n_blocks):
         seg = template[b * block : (b + 1) * block]
-        if len(seg) == 0:
-            break
         corr = np.abs(cross_correlate(x, seg))
         acc += corr[b * block : b * block + out_len] ** 2
     return np.sqrt(acc) / norm
@@ -106,13 +109,27 @@ class EnergyDetector:
         window: Averaging window in samples.
         k: CFAR factor applied to the smoothed power track.
         min_distance: Minimum spacing between reported events.
+        threshold: Fixed decision threshold. ``None`` (the default)
+            re-estimates the CFAR threshold from each capture; a fixed
+            value (set directly or via :meth:`calibrate`) keeps the
+            operating point identical across captures — what a
+            continuously-running gateway wants, and what makes chunked
+            streaming bit-identical to a monolithic pass.
+        telemetry: Metrics sink (the shared no-op by default).
     """
 
     window: int = 256
     k: float = 6.0
     min_distance: int = 512
+    threshold: float | None = None
 
     name: str = "energy"
+    telemetry: Telemetry = field(default=NULL, repr=False, compare=False)
+
+    def calibrate(self, samples: np.ndarray) -> float:
+        """Freeze the threshold from a calibration capture."""
+        self.threshold = cfar_threshold(self.scores(samples), self.k)
+        return self.threshold
 
     def scores(self, samples: np.ndarray) -> np.ndarray:
         """Smoothed power track."""
@@ -120,10 +137,21 @@ class EnergyDetector:
 
     def detect(self, samples: np.ndarray) -> list[DetectionEvent]:
         """Events at the rising edge of every above-threshold region."""
+        self.telemetry.count("detect.samples_in", len(samples))
         if len(samples) < self.window:
             return []
+        with self.telemetry.span("detect"):
+            events = self._detect(samples)
+        self.telemetry.count("detect.events", len(events))
+        return events
+
+    def _detect(self, samples: np.ndarray) -> list[DetectionEvent]:
         track = self.scores(samples)
-        threshold = cfar_threshold(track, self.k)
+        threshold = (
+            self.threshold
+            if self.threshold is not None
+            else cfar_threshold(track, self.k)
+        )
         above = track > threshold
         # Rising edges: index i where above[i] and not above[i-1].
         edges = np.flatnonzero(above & ~np.roll(above, 1))
@@ -155,6 +183,11 @@ class PreambleBankDetector:
         min_distance: Minimum spacing between events of one technology.
         block: Coherent block length for CFO-tolerant correlation
             (``None`` = fully coherent).
+        threshold: Fixed decision threshold(s): a float applied to every
+            technology's track, or a per-technology dict (the shape
+            :meth:`calibrate` produces). ``None`` re-estimates CFAR per
+            capture.
+        telemetry: Metrics sink (the shared no-op by default).
     """
 
     name = "preamble-bank"
@@ -167,6 +200,8 @@ class PreambleBankDetector:
         min_distance: int = 1024,
         block: int | None = None,
         max_template_s: float = 0.05,
+        threshold: float | dict[str, float] | None = None,
+        telemetry: Telemetry = NULL,
     ):
         if not modems:
             raise ConfigurationError("at least one modem is required")
@@ -174,11 +209,32 @@ class PreambleBankDetector:
         self.k = float(k)
         self.min_distance = int(min_distance)
         self.block = block
+        self.threshold = threshold
+        self.telemetry = telemetry
         cap = max(int(max_template_s * fs), 1)
         self.templates = {
             m.name: to_rate(m.preamble_waveform(), m.sample_rate, self.fs)[:cap]
             for m in modems
         }
+
+    def calibrate(self, samples: np.ndarray) -> dict[str, float]:
+        """Freeze per-technology thresholds from a calibration capture."""
+        self.threshold = {
+            name: cfar_threshold(self._score(samples, template), self.k)
+            for name, template in self.templates.items()
+            if len(template) <= len(samples)
+        }
+        return self.threshold
+
+    def _threshold_for(self, name: str, scores: np.ndarray) -> float:
+        if self.threshold is None:
+            return cfar_threshold(scores, self.k)
+        if isinstance(self.threshold, dict):
+            fixed = self.threshold.get(name)
+            if fixed is None:
+                return cfar_threshold(scores, self.k)
+            return float(fixed)
+        return float(self.threshold)
 
     @property
     def n_correlations(self) -> int:
@@ -190,22 +246,53 @@ class PreambleBankDetector:
 
     def detect(self, samples: np.ndarray) -> list[DetectionEvent]:
         """Per-technology correlation peaks above each CFAR threshold."""
+        self.telemetry.count("detect.samples_in", len(samples))
         events: list[DetectionEvent] = []
-        for name, template in self.templates.items():
-            if len(template) > len(samples):
-                continue
-            scores = self._score(samples, template)
-            threshold = cfar_threshold(scores, self.k)
-            for idx in find_peaks_above(scores, threshold, self.min_distance):
-                events.append(
-                    DetectionEvent(
-                        index=idx,
-                        score=float(scores[idx]),
-                        detector=self.name,
-                        technology=name,
+        with self.telemetry.span("detect"):
+            for name, template in self.templates.items():
+                if len(template) > len(samples):
+                    continue
+                scores = self._score(samples, template)
+                threshold = self._threshold_for(name, scores)
+                for idx in find_peaks_above(scores, threshold, self.min_distance):
+                    events.append(
+                        DetectionEvent(
+                            index=idx,
+                            score=float(scores[idx]),
+                            detector=self.name,
+                            technology=name,
+                        )
                     )
-                )
+        self.telemetry.count("detect.events", len(events))
         return sorted(events, key=lambda e: e.index)
+
+    def stream_candidates(
+        self, samples: np.ndarray
+    ) -> list[tuple[str | None, int, np.ndarray, np.ndarray]]:
+        """Raw per-technology threshold crossings for chunked streaming.
+
+        No min-distance suppression is applied; the streaming layer
+        replays :func:`~repro.dsp.correlation.find_peaks_above`'s greedy
+        suppression incrementally across chunk joins (independently per
+        technology, as :meth:`detect` does). Freeze :attr:`threshold`
+        (e.g. via :meth:`calibrate`) for results identical to a
+        monolithic pass.
+
+        Returns:
+            ``[(technology, template_len, indices, scores)]``, one entry
+            per template short enough to score this buffer.
+        """
+        self.telemetry.count("detect.samples_in", len(samples))
+        out: list[tuple[str | None, int, np.ndarray, np.ndarray]] = []
+        with self.telemetry.span("detect"):
+            for name, template in self.templates.items():
+                if len(template) > len(samples):
+                    continue
+                scores = self._score(samples, template)
+                threshold = self._threshold_for(name, scores)
+                idx = np.flatnonzero(scores >= threshold)
+                out.append((name, len(template), idx, scores[idx]))
+        return out
 
 
 def match_events(

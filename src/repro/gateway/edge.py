@@ -13,8 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..dsp.resample import to_rate
-from ..errors import DecodeError, ReproError
+from ..errors import ReproError
 from ..phy.base import Modem
+from ..telemetry import NULL, Telemetry
 from ..types import DecodeResult, Segment
 
 __all__ = ["EdgeOutcome", "EdgeDecoder"]
@@ -43,6 +44,7 @@ class EdgeDecoder:
             more than one event as potential collisions and ship them
             even if one frame decoded locally (the cloud may recover
             the rest).
+        telemetry: Metrics sink (the shared no-op by default).
     """
 
     def __init__(
@@ -50,31 +52,38 @@ class EdgeDecoder:
         modems: list[Modem],
         fs: float,
         ship_on_multi_detection: bool = True,
+        telemetry: Telemetry = NULL,
     ):
         self.modems = list(modems)
         self.fs = float(fs)
         self.ship_on_multi_detection = ship_on_multi_detection
+        self.telemetry = telemetry
 
     def try_decode(self, segment: Segment) -> EdgeOutcome:
         """Attempt a plain decode of every technology on the segment."""
         results: list[DecodeResult] = []
-        for modem in self.modems:
-            try:
-                native = to_rate(segment.samples, self.fs, modem.sample_rate)
-                frame = modem.demodulate(native)
-            except ReproError:
-                continue
-            if frame.crc_ok:
-                results.append(
-                    DecodeResult(
-                        technology=modem.name,
-                        payload=frame.payload,
-                        ok=True,
-                        method="direct",
-                        start=frame.start,
+        with self.telemetry.span("edge"):
+            for modem in self.modems:
+                try:
+                    native = to_rate(segment.samples, self.fs, modem.sample_rate)
+                    frame = modem.demodulate(native)
+                except ReproError:
+                    continue
+                if frame.crc_ok:
+                    results.append(
+                        DecodeResult(
+                            technology=modem.name,
+                            payload=frame.payload,
+                            ok=True,
+                            method="direct",
+                            start=frame.start,
+                        )
                     )
-                )
         ship = not results
         if self.ship_on_multi_detection and len(segment.detections) > len(results):
             ship = True
+        self.telemetry.count("edge.segments")
+        self.telemetry.count("edge.frames", len(results))
+        if not ship:
+            self.telemetry.count("edge.resolved_locally")
         return EdgeOutcome(results=results, ship_to_cloud=ship)

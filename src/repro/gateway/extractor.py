@@ -16,6 +16,7 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..phy.base import Modem
+from ..telemetry import NULL, Telemetry
 from ..types import DetectionEvent, Segment
 
 __all__ = ["SegmentExtractor", "max_frame_samples"]
@@ -43,6 +44,7 @@ class SegmentExtractor:
         pre_fraction: Portion of the segment placed *before* the event
             (detectors fire at the preamble, so most of the span goes
             after it).
+        telemetry: Metrics sink (the shared no-op by default).
     """
 
     def __init__(
@@ -52,6 +54,7 @@ class SegmentExtractor:
         typical_payload: int = 32,
         span_factor: float = 2.0,
         pre_fraction: float = 0.1,
+        telemetry: Telemetry = NULL,
     ):
         if span_factor <= 0:
             raise ConfigurationError("span_factor must be positive")
@@ -61,6 +64,7 @@ class SegmentExtractor:
         self.max_frame = max_frame_samples(modems, fs, typical_payload)
         self.span = math.ceil(span_factor * self.max_frame)
         self.pre = math.ceil(self.span * pre_fraction)
+        self.telemetry = telemetry
 
     def extract(
         self, samples: np.ndarray, events: list[DetectionEvent]
@@ -72,25 +76,30 @@ class SegmentExtractor:
         """
         if not events:
             return []
-        windows: list[tuple[int, int]] = []
-        for event in sorted(events, key=lambda e: e.index):
-            lo = max(event.index - self.pre, 0)
-            hi = min(event.index - self.pre + self.span, len(samples))
-            if windows and lo <= windows[-1][1]:
-                windows[-1] = (windows[-1][0], max(windows[-1][1], hi))
-            else:
-                windows.append((lo, hi))
-        segments = []
-        for lo, hi in windows:
-            covered = [e for e in events if lo <= e.index < hi]
-            segments.append(
-                Segment(
-                    start=lo,
-                    samples=samples[lo:hi].copy(),
-                    sample_rate=self.fs,
-                    detections=covered,
+        with self.telemetry.span("extract"):
+            windows: list[tuple[int, int]] = []
+            for event in sorted(events, key=lambda e: e.index):
+                lo = max(event.index - self.pre, 0)
+                hi = min(event.index - self.pre + self.span, len(samples))
+                if windows and lo <= windows[-1][1]:
+                    windows[-1] = (windows[-1][0], max(windows[-1][1], hi))
+                else:
+                    windows.append((lo, hi))
+            segments = []
+            for lo, hi in windows:
+                covered = [e for e in events if lo <= e.index < hi]
+                segments.append(
+                    Segment(
+                        start=lo,
+                        samples=samples[lo:hi].copy(),
+                        sample_rate=self.fs,
+                        detections=covered,
+                    )
                 )
-            )
+        self.telemetry.count("extract.segments", len(segments))
+        self.telemetry.count(
+            "extract.samples_out", sum(s.length for s in segments)
+        )
         return segments
 
     def shipped_fraction(self, segments: list[Segment], n_samples: int) -> float:

@@ -6,6 +6,11 @@ as Figure 2 of the paper draws them. One call to
 everything downstream layers need: the shipped segments (optionally
 after an edge decode pass), the backhaul accounting and the detection
 events themselves.
+
+For unbounded sample streams, :class:`repro.gateway.streaming.
+StreamingGateway` drives the same pipeline chunk by chunk; the
+per-segment ship path (:meth:`GalioTGateway.ship_segment`) is shared so
+both fronts account identically.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ import numpy as np
 
 from ..errors import CapacityError
 from ..phy.base import Modem
+from ..telemetry import NULL, Telemetry
 from ..types import DecodeResult, DetectionEvent, Segment
 from .backhaul import BackhaulLink
 from .compression import SegmentCodec
@@ -52,10 +58,40 @@ class GatewayReport:
 
     @property
     def backhaul_saving(self) -> float:
-        """Raw-stream bits divided by actually-shipped bits."""
+        """Raw-stream bits divided by actually-shipped bits.
+
+        An empty pass (no samples seen, nothing shipped) reports 1.0:
+        no traffic existed, so nothing was saved or wasted.
+        """
+        if self.raw_bits <= 0:
+            return 1.0
         if self.shipped_bits <= 0:
             return float("inf")
         return self.raw_bits / self.shipped_bits
+
+    def absorb(self, other: "GatewayReport") -> "GatewayReport":
+        """Fold another report's contents into this one, in place.
+
+        Used by the streaming front to merge incremental chunk reports;
+        the merged totals equal one monolithic pass over the same
+        samples. Returns ``self`` for chaining.
+        """
+        self.events.extend(other.events)
+        self.segments.extend(other.segments)
+        self.shipped.extend(other.shipped)
+        self.edge_results.extend(other.edge_results)
+        self.shipped_bits += other.shipped_bits
+        self.raw_bits += other.raw_bits
+        self.dropped_segments += other.dropped_segments
+        return self
+
+    @staticmethod
+    def merged(reports: "list[GatewayReport]") -> "GatewayReport":
+        """A fresh report holding the sum of ``reports`` (in order)."""
+        total = GatewayReport()
+        for report in reports:
+            total.absorb(report)
+        return total
 
 
 class GalioTGateway:
@@ -70,6 +106,8 @@ class GalioTGateway:
         use_edge: Run the edge decode pass before shipping.
         codec: Segment compression codec.
         backhaul: Uplink model (``None`` for unlimited).
+        telemetry: Metrics sink threaded through every stage (the
+            shared no-op by default).
         detector_kwargs: Extra arguments for the chosen detector.
     """
 
@@ -82,60 +120,99 @@ class GalioTGateway:
         use_edge: bool = True,
         codec: SegmentCodec | None = None,
         backhaul: BackhaulLink | None = None,
+        telemetry: Telemetry | None = None,
         **detector_kwargs,
     ):
         self.modems = list(modems)
         self.fs = float(fs)
         self.front_end = front_end
         self.use_edge = use_edge
-        self.codec = codec or SegmentCodec()
+        self.telemetry = telemetry if telemetry is not None else NULL
+        self.codec = codec or SegmentCodec(telemetry=self.telemetry)
+        if self.codec.telemetry is NULL:
+            self.codec.telemetry = self.telemetry
         self.backhaul = backhaul
-        self.extractor = SegmentExtractor(self.modems, self.fs)
-        self.edge = EdgeDecoder(self.modems, self.fs) if use_edge else None
+        if self.backhaul is not None and self.backhaul.telemetry is NULL:
+            self.backhaul.telemetry = self.telemetry
+        self.extractor = SegmentExtractor(
+            self.modems, self.fs, telemetry=self.telemetry
+        )
+        self.edge = (
+            EdgeDecoder(self.modems, self.fs, telemetry=self.telemetry)
+            if use_edge
+            else None
+        )
         if detector == "universal":
             universal = UniversalPreamble.build(self.modems, self.fs)
-            self.detector = UniversalPreambleDetector(universal, **detector_kwargs)
+            self.detector = UniversalPreambleDetector(
+                universal, telemetry=self.telemetry, **detector_kwargs
+            )
         elif detector == "bank":
             self.detector = PreambleBankDetector(
-                self.modems, self.fs, **detector_kwargs
+                self.modems, self.fs, telemetry=self.telemetry, **detector_kwargs
             )
         elif detector == "energy":
-            self.detector = EnergyDetector(**detector_kwargs)
+            self.detector = EnergyDetector(
+                telemetry=self.telemetry, **detector_kwargs
+            )
         else:
             raise ValueError(f"unknown detector {detector!r}")
+
+    def capture_front_end(
+        self, capture: np.ndarray, rng: np.random.Generator | None
+    ) -> tuple[np.ndarray, int]:
+        """Run the front-end model; returns ``(samples, raw_bits)``.
+
+        ``raw_bits`` is what a ship-everything design would have put on
+        the wire for these samples (ADC width when a front end models
+        one, 8 bits per rail otherwise).
+        """
+        if self.front_end is not None:
+            samples = self.front_end.capture(capture, rng)
+            raw_bits = int(len(samples) * 2 * self.front_end.config.adc_bits)
+        else:
+            samples = capture
+            raw_bits = len(samples) * 2 * 8
+        return samples, raw_bits
+
+    def ship_segment(self, segment: Segment, report: GatewayReport) -> None:
+        """Run one segment through edge -> compress -> backhaul.
+
+        Mutates ``report`` (edge results, shipped list, bit and drop
+        counters). Shared by the monolithic and streaming fronts so
+        their accounting is identical by construction.
+        """
+        ship = True
+        if self.edge is not None:
+            outcome = self.edge.try_decode(segment)
+            report.edge_results.extend(outcome.results)
+            ship = outcome.ship_to_cloud
+        if not ship:
+            return
+        compressed, stats = self.codec.compress(segment)
+        if self.backhaul is not None:
+            try:
+                self.backhaul.ship(compressed.n_bits, segment.start / self.fs)
+            except CapacityError:
+                report.dropped_segments += 1
+                self.telemetry.count("gateway.dropped_segments")
+                return
+        report.shipped_bits += compressed.n_bits
+        report.shipped.append(segment)
+        self.telemetry.count("gateway.shipped_segments")
+        self.telemetry.count("gateway.shipped_bits", compressed.n_bits)
+        self.telemetry.gauge("gateway.last_compression_ratio", stats.ratio)
 
     def process(
         self, capture: np.ndarray, rng: np.random.Generator | None = None
     ) -> GatewayReport:
         """Run the full gateway pipeline over one capture."""
         report = GatewayReport()
-        samples = capture
-        if self.front_end is not None:
-            samples = self.front_end.capture(capture, rng)
-            report.raw_bits = int(
-                len(samples) * 2 * self.front_end.config.adc_bits
-            )
-        else:
-            report.raw_bits = len(samples) * 2 * 8
-        report.events = self.detector.detect(samples)
-        report.segments = self.extractor.extract(samples, report.events)
-        for segment in report.segments:
-            ship = True
-            if self.edge is not None:
-                outcome = self.edge.try_decode(segment)
-                report.edge_results.extend(outcome.results)
-                ship = outcome.ship_to_cloud
-            if not ship:
-                continue
-            compressed, stats = self.codec.compress(segment)
-            if self.backhaul is not None:
-                try:
-                    self.backhaul.ship(
-                        compressed.n_bits, segment.start / self.fs
-                    )
-                except CapacityError:
-                    report.dropped_segments += 1
-                    continue
-            report.shipped_bits += compressed.n_bits
-            report.shipped.append(segment)
+        with self.telemetry.span("gateway"):
+            samples, report.raw_bits = self.capture_front_end(capture, rng)
+            self.telemetry.count("gateway.samples_in", len(samples))
+            report.events = self.detector.detect(samples)
+            report.segments = self.extractor.extract(samples, report.events)
+            for segment in report.segments:
+                self.ship_segment(segment, report)
         return report

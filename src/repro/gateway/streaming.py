@@ -1,0 +1,506 @@
+"""Chunked streaming front for the GalioT gateway.
+
+The paper's gateway runs *continuously* on a Raspberry-Pi-class device,
+but :meth:`~repro.gateway.gateway.GalioTGateway.process` wants the whole
+capture in memory at once. :class:`StreamingGateway` drives the same
+Figure-2 pipeline over an unbounded iterator of capture chunks and, for
+the correlation detectors with a frozen threshold, produces *exactly*
+the events, segments and shipped bits of one monolithic pass:
+
+* **Overlap carry.** The matched-filter score at index ``n`` depends on
+  samples ``x[n : n + L]`` (``L`` = template length), so each chunk is
+  scored together with the last ``L - 1`` samples of history. With
+  exactly that much carry the per-chunk score tracks *partition* the
+  monolithic track — every score index is computed exactly once, by
+  exactly one chunk (per-technology ``scored_to`` bookkeeping drops the
+  short strip the preamble bank's shorter templates re-score).
+* **Incremental greedy suppression.**
+  :func:`~repro.dsp.correlation.find_peaks_above` accepts candidates in
+  descending score order and is *not* decomposable per chunk: a locally
+  kept peak may suppress a neighbour and then itself lose to a peak in
+  the next chunk, resurrecting the neighbour. Detectors therefore hand
+  the streaming layer their **raw threshold crossings**
+  (:meth:`~repro.gateway.universal.UniversalPreambleDetector.stream_candidates`),
+  and the global greedy is replayed over a pending window every chunk.
+  A candidate is emitted (or discarded) only once its accept/reject
+  status is provably stable against *any* future candidate: instability
+  starts within ``min_distance`` of the scored frontier and propagates
+  backwards only through strictly priority-decreasing neighbour chains,
+  so a fixpoint marking finalizes everything the future can no longer
+  touch.
+* **In-flight extractor state.** Ship windows (``2x`` the largest frame
+  around each event) routinely span chunk boundaries and can still
+  *merge* with the next event's window. Open windows are carried across
+  chunks and a segment is emitted only when no future event can merge
+  into it and all of its samples have arrived, so a packet bisected by
+  a chunk boundary is shipped once, in one piece.
+
+Each processed chunk yields an incremental
+:class:`~repro.gateway.gateway.GatewayReport`;
+:meth:`GatewayReport.absorb <repro.gateway.gateway.GatewayReport.absorb>`
+merges them into totals identical to one monolithic ``process()`` call
+over the concatenated stream. Two caveats: per-capture CFAR thresholds
+are data-dependent (freeze the operating point with
+``detector.calibrate(...)`` for exactness), and the energy detector's
+rising-edge state machine is inherently whole-track, so it streams via
+event-level de-duplication instead (approximate near chunk joins).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..telemetry import Telemetry
+from ..types import DetectionEvent, Segment
+from .detection import EnergyDetector, PreambleBankDetector
+from .gateway import GalioTGateway, GatewayReport
+from .universal import UniversalPreambleDetector
+
+__all__ = ["StreamingGateway", "detector_context", "iter_chunks"]
+
+
+def detector_context(detector) -> int:
+    """Samples of history a detector needs to re-score a chunk boundary.
+
+    For correlation detectors this is ``len(template) - 1``: carrying
+    exactly that much makes consecutive chunks' valid-mode score tracks
+    partition the monolithic track with no gap and no overlap (for the
+    longest template; shorter bank templates re-score a short strip that
+    per-technology ``scored_to`` bookkeeping drops).
+    """
+    if isinstance(detector, UniversalPreambleDetector):
+        return detector.universal.length - 1
+    if isinstance(detector, PreambleBankDetector):
+        return max(len(t) for t in detector.templates.values()) - 1
+    if isinstance(detector, EnergyDetector):
+        return detector.window
+    return 0
+
+
+def iter_chunks(capture: np.ndarray, chunk_size: int) -> Iterator[np.ndarray]:
+    """Split an in-memory capture into consecutive chunks (for tests
+    and demos; a real deployment feeds SDR buffers directly)."""
+    if chunk_size < 1:
+        raise ConfigurationError("chunk_size must be >= 1")
+    for lo in range(0, len(capture), chunk_size):
+        yield capture[lo : lo + chunk_size]
+
+
+@dataclass
+class _Window:
+    """One in-flight extraction window (absolute sample indices)."""
+
+    lo: int
+    hi: int
+    events: list[DetectionEvent] = field(default_factory=list)
+
+
+@dataclass
+class _TechTrack:
+    """Pending suppression state of one technology's score track."""
+
+    template_len: int
+    indices: list[int] = field(default_factory=list)  # ascending
+    scores: list[float] = field(default_factory=list)
+    scored_to: int = 0  # score indices below this are already ingested
+    accepted: list[int] = field(default_factory=list)  # finalized, sorted
+
+
+class StreamingGateway:
+    """Run a :class:`GalioTGateway` over an iterator of capture chunks.
+
+    One instance consumes one stream: detector carry, pending candidates
+    and open extraction windows live on the instance between chunks.
+    Call :meth:`reset` (or build a fresh instance) for a new stream.
+
+    Args:
+        gateway: The configured gateway whose pipeline to drive. Its
+            detector, extractor, edge, codec and backhaul are used
+            as-is, so streaming and monolithic accounting share every
+            code path below the chunking layer.
+        telemetry: Metrics sink for stream-level metrics; defaults to
+            the gateway's own sink.
+    """
+
+    def __init__(
+        self, gateway: GalioTGateway, telemetry: Telemetry | None = None
+    ):
+        self.gateway = gateway
+        self.telemetry = (
+            telemetry if telemetry is not None else gateway.telemetry
+        )
+        self.context = detector_context(gateway.detector)
+        self.min_distance = int(getattr(gateway.detector, "min_distance", 0))
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget all carried state; ready for a new stream."""
+        self._pos = 0  # absolute index of the next sample to arrive
+        self._buffer = np.zeros(0, dtype=complex)
+        self._buf_start = 0  # absolute index of _buffer[0]
+        self._tracks: dict[str | None, _TechTrack] = {}
+        self._pending: list[DetectionEvent] = []  # legacy (energy) path
+        self._flushed_to = 0  # emitted events are below, future ones above
+        self._windows: list[_Window] = []
+        self._ended = False
+
+    # -- public API -------------------------------------------------------
+
+    def run(
+        self,
+        chunks: Iterable[np.ndarray],
+        rng: np.random.Generator | None = None,
+    ) -> Iterator[GatewayReport]:
+        """Process a chunk stream, yielding one incremental report per
+        chunk plus a final flush report after the stream ends."""
+        for chunk in chunks:
+            yield self.process_chunk(chunk, rng)
+        yield self.finalize()
+
+    def process_stream(
+        self,
+        chunks: Iterable[np.ndarray],
+        rng: np.random.Generator | None = None,
+    ) -> GatewayReport:
+        """Consume the whole stream and return the merged totals."""
+        return GatewayReport.merged(list(self.run(chunks, rng)))
+
+    def process_chunk(
+        self, chunk: np.ndarray, rng: np.random.Generator | None = None
+    ) -> GatewayReport:
+        """Ingest one chunk; returns the report of what it completed.
+
+        Events appear in the report of the chunk that *finalized* them
+        (proved their suppression outcome stable), segments in the
+        report of the chunk that supplied their last needed sample —
+        so a boundary-spanning packet is reported exactly once.
+        """
+        if self._ended:
+            raise ConfigurationError(
+                "stream already finalized; call reset() for a new stream"
+            )
+        report = GatewayReport()
+        chunk = np.asarray(chunk)
+        if len(chunk) == 0:
+            return report
+        with self.telemetry.span("stream.chunk"):
+            samples, report.raw_bits = self.gateway.capture_front_end(
+                chunk, rng
+            )
+            chunk_start = self._pos
+            self._buffer = np.concatenate(
+                [self._buffer, np.asarray(samples, dtype=complex)]
+            )
+            self._pos += len(samples)
+            for event in self._detect(chunk_start):
+                report.events.append(event)
+                self._feed_extractor(event)
+            self._close_ready(report, final=False)
+            self._trim_buffer()
+        self.telemetry.count("stream.chunks")
+        self.telemetry.count("stream.samples_in", len(chunk))
+        self.telemetry.gauge("stream.buffered_samples", len(self._buffer))
+        return report
+
+    def finalize(self) -> GatewayReport:
+        """Flush carried state after the stream ends.
+
+        Emits every still-pending event and open window (clamped to the
+        true stream length, as a monolithic pass would clamp to the
+        capture length). Idempotent: a second call returns an empty
+        report.
+        """
+        if self._ended:
+            return GatewayReport()
+        self._ended = True
+        report = GatewayReport()
+        with self.telemetry.span("stream.finalize"):
+            emitted = self._resolve(final=True)
+            for event in self._pending:  # legacy (energy) path
+                emitted.append(event)
+            self._pending = []
+            self._flushed_to = self._pos
+            for event in emitted:
+                report.events.append(event)
+                self._feed_extractor(event)
+            self._close_ready(report, final=True)
+        return report
+
+    # -- detection --------------------------------------------------------
+
+    def _detect(self, chunk_start: int) -> list[DetectionEvent]:
+        """Score [carry + chunk], merge candidates, emit finalized events."""
+        det_lo = max(chunk_start - self.context, 0)
+        det_buf = self._buffer[det_lo - self._buf_start :]
+        detector = self.gateway.detector
+        if not hasattr(detector, "stream_candidates"):
+            return self._legacy_detect(detector, det_lo, det_buf)
+        for tech, tlen, idx, sc in detector.stream_candidates(det_buf):
+            track = self._tracks.setdefault(tech, _TechTrack(tlen))
+            absolute = np.asarray(idx, dtype=np.int64) + det_lo
+            fresh = absolute >= track.scored_to
+            track.indices.extend(absolute[fresh].tolist())
+            track.scores.extend(np.asarray(sc)[fresh].tolist())
+            track.scored_to = max(track.scored_to, self._pos - tlen + 1)
+        emitted = self._resolve(final=False)
+        self.telemetry.count("detect.events", len(emitted))
+        return emitted
+
+    def _resolve(self, final: bool) -> list[DetectionEvent]:
+        """Replay the global greedy suppression over pending candidates
+        and emit every candidate whose outcome the future cannot change.
+
+        The emission watermark is the lowest still-unstable candidate
+        (capped at the scored frontier), so events always reach the
+        extractor in ascending index order across chunks.
+        """
+        md = max(self.min_distance, 1)
+        known = max(self._pos - self.context, 0)
+        frontier = known - md
+        states: dict[str | None, tuple] = {}
+        watermark: int | None = None
+        for tech, track in self._tracks.items():
+            if not track.indices:
+                continue
+            idx = np.asarray(track.indices, dtype=np.int64)
+            sc = np.asarray(track.scores, dtype=float)
+            fixed = np.asarray(track.accepted, dtype=np.int64)
+            status = self._greedy(idx, sc, track.accepted, md)
+            if final:
+                marked = np.zeros(len(idx), dtype=bool)
+            else:
+                marked = idx > frontier
+                self._stabilize(idx, sc, status, marked, fixed, md)
+            states[tech] = (idx, sc, status, marked)
+            if marked.any():
+                lowest = int(idx[marked].min())
+                watermark = (
+                    lowest if watermark is None else min(watermark, lowest)
+                )
+        if final:
+            cutoff = None  # flush everything
+        else:
+            cutoff = known if watermark is None else min(watermark, known)
+        emitted: list[DetectionEvent] = []
+        name = self.gateway.detector.name
+        for tech, (idx, sc, status, marked) in states.items():
+            track = self._tracks[tech]
+            flush = ~marked if cutoff is None else (~marked) & (idx < cutoff)
+            if not flush.any():
+                continue
+            for i, s in zip(
+                idx[flush & status].tolist(), sc[flush & status].tolist()
+            ):
+                emitted.append(
+                    DetectionEvent(
+                        index=int(i),
+                        score=float(s),
+                        detector=name,
+                        technology=tech,
+                    )
+                )
+                insort(track.accepted, int(i))
+            keep = ~flush
+            track.indices = idx[keep].tolist()
+            track.scores = sc[keep].tolist()
+            floor = (
+                track.indices[0] if track.indices else track.scored_to
+            ) - md
+            track.accepted = [a for a in track.accepted if a >= floor]
+        if cutoff is not None:
+            self._flushed_to = max(self._flushed_to, cutoff)
+        emitted.sort(key=lambda e: e.index)
+        return emitted
+
+    @staticmethod
+    def _greedy(
+        idx: np.ndarray, sc: np.ndarray, fixed: list[int], md: int
+    ) -> np.ndarray:
+        """Exactly :func:`~repro.dsp.correlation.find_peaks_above`:
+        candidates in descending score order (ties: later index first,
+        matching the reversed stable argsort), each accepted iff no
+        accepted peak lies within ``md``. Already-emitted peaks
+        (``fixed``) are unconditional suppressors — the stability proof
+        guarantees no pending candidate outranks them in range.
+        """
+        order = np.argsort(sc, kind="stable")[::-1]
+        accepted = list(fixed)
+        status = np.zeros(len(idx), dtype=bool)
+        for i in order:
+            v = int(idx[i])
+            j = bisect_left(accepted, v)
+            near = (j > 0 and v - accepted[j - 1] < md) or (
+                j < len(accepted) and accepted[j] - v < md
+            )
+            if near:
+                continue
+            insort(accepted, v)
+            status[i] = True
+        return status
+
+    @staticmethod
+    def _stabilize(
+        idx: np.ndarray,
+        sc: np.ndarray,
+        status: np.ndarray,
+        marked: np.ndarray,
+        fixed: np.ndarray,
+        md: int,
+    ) -> None:
+        """Grow ``marked`` (in place) to every candidate whose greedy
+        outcome a future candidate could still flip.
+
+        A future candidate can directly contest only the strip within
+        ``md`` of the scored frontier (the initial marking); from there
+        instability propagates through neighbour chains of strictly
+        decreasing priority. The greatest stable set is the fixpoint of:
+
+        * a rejected candidate is stable iff some suppressor within
+          ``md`` is itself stable (emitted, or accepted-and-unmarked);
+        * an accepted candidate is stable iff no *marked* candidate of
+          higher priority lies within ``md``.
+        """
+        while True:
+            stable_acc = np.concatenate([fixed, idx[status & ~marked]])
+            stable_acc.sort()
+            lo = np.searchsorted(stable_acc, idx - md, side="right")
+            hi = np.searchsorted(stable_acc, idx + md, side="left")
+            has_stable_suppressor = hi > lo
+            grew = (~status) & (~marked) & (~has_stable_suppressor)
+            m_idx = idx[marked]
+            m_sc = sc[marked]
+            for i in np.flatnonzero(status & ~marked):
+                a = np.searchsorted(m_idx, idx[i] - md, side="right")
+                b = np.searchsorted(m_idx, idx[i] + md, side="left")
+                if a >= b:
+                    continue
+                peak = m_sc[a:b].max()
+                outranked = peak > sc[i] or (
+                    peak == sc[i]
+                    and bool(
+                        np.any(
+                            (m_sc[a:b] == sc[i]) & (m_idx[a:b] > idx[i])
+                        )
+                    )
+                )
+                if outranked:
+                    grew[i] = True
+            if not grew.any():
+                return
+            marked |= grew
+
+    def _legacy_detect(
+        self, detector, det_lo: int, det_buf: np.ndarray
+    ) -> list[DetectionEvent]:
+        """Event-level de-duplication for detectors without raw candidate
+        access (the energy detector's rising-edge state machine is
+        whole-track anyway, so streaming it is inherently approximate)."""
+        for event in detector.detect(det_buf):
+            absolute = DetectionEvent(
+                index=event.index + det_lo,
+                score=event.score,
+                detector=event.detector,
+                technology=event.technology,
+            )
+            self._suppress_or_keep(absolute)
+        watermark = self._pos - self.context - self.min_distance
+        emitted: list[DetectionEvent] = []
+        if watermark > self._flushed_to:
+            emitted = [e for e in self._pending if e.index < watermark]
+            self._pending = [
+                e for e in self._pending if e.index >= watermark
+            ]
+            self._flushed_to = watermark
+        return emitted
+
+    def _suppress_or_keep(self, cand: DetectionEvent) -> None:
+        """Score-greedy min-distance suppression across chunk joins."""
+        if cand.index < self._flushed_to:
+            # Already-finalized region: this is a boundary re-score of
+            # an event an earlier chunk reported.
+            return
+        rivals = [
+            p
+            for p in self._pending
+            if p.technology == cand.technology
+            and abs(p.index - cand.index) < max(self.min_distance, 1)
+        ]
+        if rivals:
+            if all(cand.score > r.score for r in rivals):
+                for r in rivals:
+                    self._pending.remove(r)
+            else:
+                self.telemetry.count("stream.boundary_duplicates")
+                return
+        insort(self._pending, cand, key=lambda e: e.index)
+
+    # -- extraction -------------------------------------------------------
+
+    def _feed_extractor(self, event: DetectionEvent) -> None:
+        """Incremental version of :meth:`SegmentExtractor.extract`'s
+        window merge: same ``pre``/``span``, same last-window rule."""
+        extractor = self.gateway.extractor
+        lo = max(event.index - extractor.pre, 0)
+        hi = event.index - extractor.pre + extractor.span
+        if self._windows and lo <= self._windows[-1].hi:
+            last = self._windows[-1]
+            last.hi = max(last.hi, hi)
+            last.events.append(event)
+        else:
+            self._windows.append(_Window(lo=lo, hi=hi, events=[event]))
+
+    def _close_ready(self, report: GatewayReport, final: bool) -> None:
+        """Emit every window that can no longer change."""
+        extractor = self.gateway.extractor
+        while self._windows:
+            window = self._windows[0]
+            if final:
+                hi = min(window.hi, self._pos)
+            else:
+                if window.hi > self._pos:
+                    break  # its samples have not all arrived yet
+                mergeable = len(self._windows) == 1 and (
+                    self._flushed_to - extractor.pre <= window.hi
+                )
+                if mergeable:
+                    break  # a future event could still extend it
+                hi = window.hi
+            self._windows.pop(0)
+            segment = Segment(
+                start=window.lo,
+                samples=self._buffer[
+                    window.lo - self._buf_start : hi - self._buf_start
+                ].copy(),
+                sample_rate=self.gateway.fs,
+                detections=list(window.events),
+            )
+            report.segments.append(segment)
+            self.gateway.ship_segment(segment, report)
+            self.telemetry.count("stream.segments")
+
+    # -- buffer management ------------------------------------------------
+
+    def _trim_buffer(self) -> None:
+        """Drop samples nothing can reference any more.
+
+        Retention floor: the next chunk's detection carry, the earliest
+        open window, and the earliest window any future event could open
+        (``pre`` before the emission watermark).
+        """
+        extractor = self.gateway.extractor
+        keep_from = min(
+            self._pos - self.context,
+            self._flushed_to - self.min_distance - extractor.pre,
+        )
+        if self._windows:
+            keep_from = min(keep_from, self._windows[0].lo)
+        keep_from = max(keep_from, self._buf_start)
+        drop = keep_from - self._buf_start
+        if drop > 0:
+            self._buffer = self._buffer[drop:]
+            self._buf_start = keep_from

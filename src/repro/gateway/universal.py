@@ -30,6 +30,7 @@ from ..dsp.correlation import (
 from ..dsp.resample import to_rate
 from ..errors import ConfigurationError
 from ..phy.base import Modem
+from ..telemetry import NULL, Telemetry
 from ..types import DetectionEvent
 from .detection import cfar_threshold, matched_filter_track
 
@@ -164,6 +165,11 @@ class UniversalPreambleDetector:
         min_distance: Minimum spacing between reported events.
         block: Coherent block length for CFO tolerance (``None`` = fully
             coherent correlation; best at very low SNR).
+        threshold: Fixed decision threshold. ``None`` re-estimates the
+            CFAR threshold per capture; freeze it (directly or with
+            :meth:`calibrate`) for a stable operating point across
+            captures and chunks.
+        telemetry: Metrics sink (the shared no-op by default).
     """
 
     name = "universal"
@@ -174,11 +180,20 @@ class UniversalPreambleDetector:
         k: float = 7.0,
         min_distance: int = 1024,
         block: int | None = None,
+        threshold: float | None = None,
+        telemetry: Telemetry = NULL,
     ):
         self.universal = universal
         self.k = float(k)
         self.min_distance = int(min_distance)
         self.block = block
+        self.threshold = threshold
+        self.telemetry = telemetry
+
+    def calibrate(self, samples: np.ndarray) -> float:
+        """Freeze the threshold from a calibration capture."""
+        self.threshold = cfar_threshold(self.scores(samples), self.k)
+        return self.threshold
 
     @property
     def n_correlations(self) -> int:
@@ -191,13 +206,52 @@ class UniversalPreambleDetector:
 
     def detect(self, samples: np.ndarray) -> list[DetectionEvent]:
         """Correlation peaks above the CFAR threshold."""
+        self.telemetry.count("detect.samples_in", len(samples))
         if len(samples) < self.universal.length:
             return []
-        scores = self.scores(samples)
-        threshold = cfar_threshold(scores, self.k)
-        return [
-            DetectionEvent(
-                index=idx, score=float(scores[idx]), detector=self.name
+        with self.telemetry.span("detect"):
+            scores = self.scores(samples)
+            threshold = (
+                self.threshold
+                if self.threshold is not None
+                else cfar_threshold(scores, self.k)
             )
-            for idx in find_peaks_above(scores, threshold, self.min_distance)
-        ]
+            events = [
+                DetectionEvent(
+                    index=idx, score=float(scores[idx]), detector=self.name
+                )
+                for idx in find_peaks_above(scores, threshold, self.min_distance)
+            ]
+        self.telemetry.count("detect.events", len(events))
+        return events
+
+    def stream_candidates(
+        self, samples: np.ndarray
+    ) -> list[tuple[str | None, int, np.ndarray, np.ndarray]]:
+        """Raw threshold crossings for the chunked streaming front.
+
+        Unlike :meth:`detect`, no min-distance suppression is applied —
+        the streaming layer replays
+        :func:`~repro.dsp.correlation.find_peaks_above`'s greedy
+        suppression incrementally across chunk joins, which requires the
+        un-suppressed candidate set. Freeze :attr:`threshold` for results
+        identical to a monolithic pass (per-chunk CFAR re-estimation is
+        data-dependent).
+
+        Returns:
+            ``[(technology, template_len, indices, scores)]`` with one
+            entry (``technology`` is ``None`` — the universal template
+            is technology-agnostic).
+        """
+        self.telemetry.count("detect.samples_in", len(samples))
+        if len(samples) < self.universal.length:
+            return []
+        with self.telemetry.span("detect"):
+            scores = self.scores(samples)
+            threshold = (
+                self.threshold
+                if self.threshold is not None
+                else cfar_threshold(scores, self.k)
+            )
+            idx = np.flatnonzero(scores >= threshold)
+        return [(None, self.universal.length, idx, scores[idx])]

@@ -15,7 +15,7 @@ rows.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from ..errors import UnknownTechnologyError

@@ -1,6 +1,5 @@
 """Unit tests for the backhaul link model and the edge decoder."""
 
-import numpy as np
 import pytest
 
 from repro.errors import CapacityError, ConfigurationError

@@ -1,6 +1,5 @@
 """Tests for Algorithm 1 (CloudDecoder) and the cloud pipeline."""
 
-import numpy as np
 import pytest
 
 from repro.cloud.decoder import CloudDecoder

@@ -53,6 +53,33 @@ class TestMatchedFilterTrack:
         track = matched_filter_track(x, tpl, block=32)
         assert int(np.argmax(track)) == 64
 
+    def test_block_remainder_tail_accumulated(self, rng):
+        # Regression: with len(template) % block != 0 the final partial
+        # block used to be dropped from the accumulation while the
+        # normalization still charged for its energy, biasing every
+        # score low. Template of 10 with block=4 splits 4+4+2.
+        tpl = rng.normal(size=10) + 1j * rng.normal(size=10)
+        x = np.concatenate([np.zeros(30, complex), tpl, np.zeros(30, complex)])
+        track = matched_filter_track(x, tpl, block=4)
+        reference = matched_filter_track(x, tpl, block=None)
+        assert int(np.argmax(track)) == int(np.argmax(reference)) == 30
+        # Noiseless non-coherent peak: sqrt(sum_b E_b^2) / sqrt(E) with
+        # E_b the per-block energies *including* the 2-sample tail.
+        energies = [
+            float(np.sum(np.abs(tpl[b : b + 4]) ** 2)) for b in (0, 4, 8)
+        ]
+        expected = np.sqrt(sum(e**2 for e in energies)) / np.sqrt(
+            sum(energies)
+        )
+        assert track[30] == pytest.approx(expected)
+
+    def test_block_covering_whole_template_is_coherent(self, rng):
+        tpl = rng.normal(size=10) + 1j * rng.normal(size=10)
+        x = np.concatenate([np.zeros(20, complex), tpl, np.zeros(20, complex)])
+        track = matched_filter_track(x, tpl, block=len(tpl))
+        reference = matched_filter_track(x, tpl, block=None)
+        np.testing.assert_allclose(track, reference, atol=1e-12)
+
     def test_zero_template_rejected(self):
         with pytest.raises(ConfigurationError):
             matched_filter_track(np.ones(64, complex), np.zeros(16, complex))

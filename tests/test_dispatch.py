@@ -99,6 +99,34 @@ class TestDispatcher:
         assert dispatcher.load("edge") > 0
         assert dispatcher.load("cloud") == 0.0
 
+    def test_load_counts_service_time_only(self):
+        # Regression: load() used to sum completes_at - submitted_at,
+        # double-charging FIFO queue wait and network RTT. Two queued
+        # 0.2 s segments on a 2x node load it by exactly 0.1 s each,
+        # even though the second one waits and both pay 50 ms of RTT.
+        node = ComputeNode("edge", speed=2.0, rtt_s=0.05)
+        dispatcher = Dispatcher(
+            [node], SlaPolicy(deadlines_s={}, default_s=10.0)
+        )
+        first = dispatcher.dispatch(_segment(0.2), at_time=0.0)
+        second = dispatcher.dispatch(_segment(0.2), at_time=0.0)
+        assert first.service_s == pytest.approx(0.1)
+        assert second.completes_at == pytest.approx(0.25)  # queued + rtt
+        assert dispatcher.load("edge") == pytest.approx(0.2)
+
+    def test_infeasible_falls_back_to_earliest_completion(self):
+        # No node meets a 10 ms deadline; the dispatcher must degrade
+        # to the earliest completion and record the SLA miss.
+        slow = ComputeNode("edge", speed=0.5, rtt_s=0.0)
+        far = ComputeNode("cloud", speed=50.0, rtt_s=5.0)
+        dispatcher = Dispatcher(
+            [slow, far], SlaPolicy(deadlines_s={}, default_s=0.01)
+        )
+        a = dispatcher.dispatch(_segment(0.2), at_time=0.0)
+        assert a.node == "edge"  # 0.4 s beats 5.004 s
+        assert not a.meets_sla
+        assert dispatcher.sla_miss_rate == 1.0
+
     def test_duplicate_names_rejected(self):
         edge, _ = self._nodes()
         with pytest.raises(ConfigurationError):

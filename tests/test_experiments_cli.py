@@ -4,7 +4,6 @@ Full-size experiment runs live in benchmarks/; here each harness runs at
 its smallest size to validate plumbing and result shapes.
 """
 
-import numpy as np
 import pytest
 
 from repro.cli import main

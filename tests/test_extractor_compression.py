@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.gateway.compression import SegmentCodec
+from repro.gateway.compression import CompressionStats, SegmentCodec
 from repro.gateway.extractor import SegmentExtractor, max_frame_samples
 from repro.types import DetectionEvent, Segment
 
@@ -153,3 +153,18 @@ class TestCodec:
             SegmentCodec(bits=9)
         with pytest.raises(ConfigurationError):
             SegmentCodec(level=10)
+
+
+class TestCompressionStats:
+    def test_ratio(self):
+        assert CompressionStats(raw_bits=1000, shipped_bits=250).ratio == 4.0
+
+    def test_empty_segment_ratio_is_one(self):
+        # Regression: 0 raw bits used to divide by zero (or report 0);
+        # nothing compressed means nothing gained or lost.
+        assert CompressionStats(raw_bits=0, shipped_bits=0).ratio == 1.0
+
+    def test_zero_shipped_is_infinite(self):
+        assert CompressionStats(raw_bits=100, shipped_bits=0).ratio == float(
+            "inf"
+        )

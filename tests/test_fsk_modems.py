@@ -5,7 +5,6 @@ import pytest
 
 from repro.dsp.impairments import apply_cfo
 from repro.errors import ChecksumError, ConfigurationError
-from repro.phy.ble import BleModem
 from repro.phy.xbee import XBeeModem
 from repro.phy.zwave import ZWaveModem
 

@@ -1,12 +1,12 @@
 """Tests for the GalioT gateway orchestrator (Figure 2, gateway side)."""
 
-import numpy as np
 import pytest
 
 from repro.gateway.backhaul import BackhaulLink
-from repro.gateway.gateway import GalioTGateway
+from repro.gateway.gateway import GalioTGateway, GatewayReport
 from repro.gateway.rtlsdr import RtlSdrConfig, RtlSdrModel
 from repro.net.scene import SceneBuilder
+from repro.telemetry import Telemetry
 
 FS = 1e6
 
@@ -93,3 +93,34 @@ class TestGatewayPipeline:
         noise = (rng.normal(size=400_000) + 1j * rng.normal(size=400_000)) / 2
         report = gateway.process(noise, rng)
         assert report.shipped_bits < 0.2 * report.raw_bits
+
+    def test_empty_report_saving_is_one(self):
+        # Regression: 0 raw bits used to divide by zero. An empty pass
+        # saved nothing and wasted nothing.
+        report = GatewayReport()
+        assert report.backhaul_saving == 1.0
+        report.raw_bits = 100
+        assert report.backhaul_saving == float("inf")  # detected nothing
+
+    def test_drops_are_counted_in_telemetry(self, trio, rng):
+        telemetry = Telemetry()
+        link = BackhaulLink(rate_bps=1e3, max_queue_s=0.01)
+        gateway = GalioTGateway(
+            trio,
+            FS,
+            detector="universal",
+            use_edge=False,
+            backhaul=link,
+            telemetry=telemetry,
+        )
+        by = {m.name: m for m in trio}
+        builder = SceneBuilder(FS, 1.0)
+        builder.add_packet(by["xbee"], b"seg-one", 40_000, 12, rng, snr_mode="capture")
+        builder.add_packet(by["xbee"], b"seg-two", 700_000, 12, rng, snr_mode="capture")
+        capture, _ = builder.render(rng)
+        report = gateway.process(capture, rng)
+        counters = telemetry.snapshot()["counters"]
+        assert report.dropped_segments >= 1
+        assert counters["gateway.dropped_segments"] == report.dropped_segments
+        assert counters["backhaul.drops"] == report.dropped_segments
+        assert counters["gateway.shipped_segments"] == len(report.shipped)

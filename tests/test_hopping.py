@@ -12,7 +12,6 @@ from repro.gateway.hopping import (
     run_hopping_campaign,
 )
 from repro.gateway.universal import UniversalPreamble, UniversalPreambleDetector
-from repro.net.scene import SceneBuilder
 from repro.phy import create_modem
 
 WIDE_FS = 4e6

@@ -5,8 +5,6 @@ Each test exercises the full Figure-2 path: scene -> RTL-SDR front end
 decoding, and asserts on what ultimately matters — recovered payloads.
 """
 
-import numpy as np
-import pytest
 
 from repro.cloud.pipeline import CloudService
 from repro.gateway.gateway import GalioTGateway

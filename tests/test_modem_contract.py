@@ -9,7 +9,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError, ReproError
-from repro.phy import create_modem, implemented_technologies
+from repro.phy import create_modem
 
 TECHS = ["lora", "xbee", "zwave", "ble", "sigfox", "oqpsk154"]
 

@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import ChecksumError, ConfigurationError
 from repro.phy.oqpsk154 import OQpsk154Modem
-from repro.phy.sigfox import SigfoxModem
 
 
 def _padded(iq, n=300):

@@ -1,0 +1,216 @@
+"""Tests for the chunked streaming gateway front.
+
+The core contract: with a frozen detection threshold, streaming a
+capture in chunks of *any* size produces exactly the events, segments
+and shipped bits of one monolithic ``process()`` call — including when
+a chunk boundary bisects a preamble or a ship window.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gateway import (
+    GalioTGateway,
+    GatewayReport,
+    StreamingGateway,
+    detector_context,
+    iter_chunks,
+)
+from repro.net.scene import SceneBuilder
+from repro.phy import create_modem
+from repro.telemetry import NULL, Telemetry
+
+FS = 1e6
+
+# The xbee packet starts at 40_000; its resampled preamble spans a few
+# thousand samples, so a 41_000-sample chunk boundary bisects it.
+PACKETS = (("xbee", 40_000), ("zwave", 300_000), ("lora", 650_000))
+CHUNK_SIZES = (41_000, 100_000, 262_144)
+
+
+@pytest.fixture(scope="module")
+def stream_scene():
+    """One scene + calibrated threshold + monolithic reference."""
+    rng = np.random.default_rng(0xC0FFEE)
+    modems = [create_modem(n) for n in ("lora", "xbee", "zwave")]
+    builder = SceneBuilder(FS, 1.0)
+    by = {m.name: m for m in modems}
+    for i, (name, start) in enumerate(PACKETS):
+        builder.add_packet(
+            by[name], f"pkt-{i}".encode(), start, 12, rng, snr_mode="capture"
+        )
+    capture, truth = builder.render(rng)
+    noise = (
+        rng.normal(size=200_000) + 1j * rng.normal(size=200_000)
+    ) * np.sqrt(truth.noise_power / 2)
+    probe = GalioTGateway(modems, FS, use_edge=False)
+    threshold = probe.detector.calibrate(noise)
+    mono = GalioTGateway(modems, FS, use_edge=False, threshold=threshold)
+    reference = mono.process(capture)
+    assert len(reference.segments) == len(PACKETS)  # sanity: all separate
+    return modems, capture, threshold, reference
+
+
+def _gateway(modems, threshold, **kwargs):
+    kwargs.setdefault("use_edge", False)
+    return GalioTGateway(modems, FS, threshold=threshold, **kwargs)
+
+
+class TestExactEquivalence:
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    def test_matches_monolithic(self, stream_scene, chunk_size):
+        modems, capture, threshold, reference = stream_scene
+        stream = StreamingGateway(_gateway(modems, threshold))
+        merged = stream.process_stream(iter_chunks(capture, chunk_size))
+        assert [(e.index, e.technology) for e in merged.events] == [
+            (e.index, e.technology) for e in reference.events
+        ]
+        assert [(s.start, s.length) for s in merged.segments] == [
+            (s.start, s.length) for s in reference.segments
+        ]
+        assert merged.shipped_bits == reference.shipped_bits
+        assert merged.raw_bits == reference.raw_bits
+        assert len(merged.shipped) == len(reference.shipped)
+        assert merged.dropped_segments == reference.dropped_segments
+
+    def test_bank_detector_matches_monolithic(self, stream_scene):
+        modems, capture, _, _ = stream_scene
+        rng = np.random.default_rng(7)
+        noise = (
+            rng.normal(size=150_000) + 1j * rng.normal(size=150_000)
+        ) * 0.1
+        probe = GalioTGateway(modems, FS, detector="bank", use_edge=False)
+        thresholds = probe.detector.calibrate(noise)
+        mono = GalioTGateway(
+            modems, FS, detector="bank", use_edge=False, threshold=thresholds
+        )
+        reference = mono.process(capture)
+        stream = StreamingGateway(
+            GalioTGateway(
+                modems,
+                FS,
+                detector="bank",
+                use_edge=False,
+                threshold=thresholds,
+            )
+        )
+        merged = stream.process_stream(iter_chunks(capture, 100_000))
+        assert [(e.index, e.technology) for e in merged.events] == [
+            (e.index, e.technology) for e in reference.events
+        ]
+        assert merged.shipped_bits == reference.shipped_bits
+
+    def test_incremental_reports_partition_the_work(self, stream_scene):
+        modems, capture, threshold, reference = stream_scene
+        stream = StreamingGateway(_gateway(modems, threshold))
+        reports = list(stream.run(iter_chunks(capture, 100_000)))
+        # One report per chunk plus the finalize flush.
+        assert len(reports) == -(-len(capture) // 100_000) + 1
+        merged = GatewayReport.merged(reports)
+        assert len(merged.events) == len(reference.events)
+        assert merged.shipped_bits == reference.shipped_bits
+        # Every event is reported exactly once, in stream order.
+        indices = [e.index for e in merged.events]
+        assert indices == sorted(indices)
+        assert len(set(indices)) == len(indices)
+
+
+class TestStreamingLifecycle:
+    def test_finalize_is_idempotent(self, stream_scene):
+        modems, capture, threshold, _ = stream_scene
+        stream = StreamingGateway(_gateway(modems, threshold))
+        stream.process_chunk(capture[:100_000])
+        first = stream.finalize()
+        second = stream.finalize()
+        assert second.events == []
+        assert second.segments == []
+        assert first.raw_bits == 0  # raw bits belong to chunk reports
+
+    def test_chunk_after_finalize_rejected(self, stream_scene):
+        modems, _, threshold, _ = stream_scene
+        stream = StreamingGateway(_gateway(modems, threshold))
+        stream.finalize()
+        with pytest.raises(ConfigurationError):
+            stream.process_chunk(np.zeros(10, complex))
+
+    def test_reset_allows_reuse(self, stream_scene):
+        modems, capture, threshold, reference = stream_scene
+        stream = StreamingGateway(_gateway(modems, threshold))
+        stream.process_stream(iter_chunks(capture, 262_144))
+        stream.reset()
+        merged = stream.process_stream(iter_chunks(capture, 262_144))
+        assert len(merged.events) == len(reference.events)
+        assert merged.shipped_bits == reference.shipped_bits
+
+    def test_empty_chunks_are_harmless(self, stream_scene):
+        modems, capture, threshold, reference = stream_scene
+        stream = StreamingGateway(_gateway(modems, threshold))
+        chunks = [capture[:500_000], capture[500_000:500_000], capture[500_000:]]
+        merged = stream.process_stream(iter(chunks))
+        assert len(merged.events) == len(reference.events)
+        assert merged.shipped_bits == reference.shipped_bits
+
+    def test_energy_detector_uses_legacy_path(self, stream_scene):
+        # The energy detector's rising-edge logic is whole-track, so it
+        # streams by event de-duplication — approximate, but it must
+        # still find an isolated loud packet once.
+        modems, capture, _, _ = stream_scene
+        gateway = GalioTGateway(modems, FS, detector="energy", use_edge=False)
+        merged = StreamingGateway(gateway).process_stream(
+            iter_chunks(capture, 262_144)
+        )
+        assert merged.events
+        assert merged.segments
+
+
+class TestStreamingTelemetry:
+    def test_stage_timings_are_recorded(self, stream_scene):
+        modems, capture, threshold, _ = stream_scene
+        telemetry = Telemetry()
+        gateway = _gateway(modems, threshold, telemetry=telemetry)
+        StreamingGateway(gateway).process_stream(iter_chunks(capture, 262_144))
+        snap = telemetry.snapshot()
+        n_chunks = -(-len(capture) // 262_144)
+        assert snap["timers"]["stream.chunk.seconds"]["count"] == n_chunks
+        for stage in ("stream.chunk", "stream.finalize", "detect", "compress"):
+            assert snap["timers"][f"{stage}.seconds"]["total_s"] > 0, stage
+        assert snap["counters"]["stream.samples_in"] == len(capture)
+        assert snap["counters"]["stream.chunks"] == n_chunks
+        assert snap["counters"]["detect.events"] > 0
+        assert snap["counters"]["gateway.shipped_segments"] == len(PACKETS)
+
+    def test_default_telemetry_is_shared_noop(self, stream_scene):
+        modems, capture, threshold, _ = stream_scene
+        gateway = _gateway(modems, threshold)
+        stream = StreamingGateway(gateway)
+        assert gateway.telemetry is NULL
+        assert stream.telemetry is NULL
+        stream.process_stream(iter_chunks(capture, 500_000))
+        # The shared no-op must have stored nothing.
+        assert NULL.snapshot() == {"counters": {}, "gauges": {}, "timers": {}}
+
+
+class TestHelpers:
+    def test_iter_chunks_covers_capture(self):
+        capture = np.arange(10, dtype=complex)
+        chunks = list(iter_chunks(capture, 3))
+        assert [len(c) for c in chunks] == [3, 3, 3, 1]
+        assert np.array_equal(np.concatenate(chunks), capture)
+
+    def test_iter_chunks_validates(self):
+        with pytest.raises(ConfigurationError):
+            list(iter_chunks(np.zeros(4, complex), 0))
+
+    def test_detector_context(self, stream_scene):
+        modems, _, threshold, _ = stream_scene
+        gateway = _gateway(modems, threshold)
+        assert (
+            detector_context(gateway.detector)
+            == gateway.detector.universal.length - 1
+        )
+        bank = GalioTGateway(modems, FS, detector="bank", use_edge=False)
+        longest = max(len(t) for t in bank.detector.templates.values())
+        assert detector_context(bank.detector) == longest - 1
+        energy = GalioTGateway(modems, FS, detector="energy", use_edge=False)
+        assert detector_context(energy.detector) == energy.detector.window
