@@ -1,0 +1,95 @@
+"""Contract-layer overhead: the ``off`` fast path must stay invisible.
+
+Runs one gateway scene end to end in every sanitize mode and times the
+decorator dispatch in isolation. The printed table is the artifact; the
+only assertions are semantic (identical reports across modes on clean
+input), so the benchmark never flakes on machine speed.
+"""
+
+import time
+
+import numpy as np
+
+from repro.contracts import get_sanitize_mode, iq_contract, sanitize
+from repro.gateway import GalioTGateway
+from repro.net.scene import SceneBuilder
+from repro.phy import create_modem
+
+FS = 1e6
+
+
+def _scene(rng):
+    modems = [create_modem(n) for n in ("lora", "xbee", "zwave")]
+    builder = SceneBuilder(FS, 0.5)
+    for i, (modem, start) in enumerate(
+        zip(modems, (40_000, 200_000, 360_000), strict=True)
+    ):
+        builder.add_packet(
+            modem, f"bench-{i}".encode(), start, 12, rng, snr_mode="capture"
+        )
+    capture, _truth = builder.render(rng)
+    return modems, capture
+
+
+def _time_process(gateway, capture, repeats=3):
+    best = float("inf")
+    report = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        report = gateway.process(capture)
+        best = min(best, time.perf_counter() - t0)
+    return best, report
+
+
+def test_contract_overhead(once):
+    rng = np.random.default_rng(0xC0FFEE)
+    modems, capture = _scene(rng)
+    gateway = GalioTGateway(modems, FS, use_edge=False)
+
+    def _run():
+        rows = []
+        baseline = None
+        reports = {}
+        for mode in ("off", "warn", "raise"):
+            with sanitize(mode):
+                assert get_sanitize_mode().value == mode
+                seconds, report = _time_process(gateway, capture)
+            reports[mode] = report
+            if baseline is None:
+                baseline = seconds
+            rows.append((mode, seconds, seconds / baseline - 1.0))
+        return rows, reports
+
+    rows, reports = once(_run)
+
+    # Semantic invariant: on clean input the mode must not change results.
+    off, warn, raise_ = (reports[m] for m in ("off", "warn", "raise"))
+    assert len(off.events) == len(warn.events) == len(raise_.events)
+    assert off.shipped_bits == warn.shipped_bits == raise_.shipped_bits
+
+    # Decorator dispatch cost in isolation (the per-call 'off' tax).
+    @iq_contract("iq")
+    def _guarded(iq):
+        return iq
+
+    def _bare(iq):
+        return iq
+
+    buf = np.zeros(16, dtype=np.complex128)
+    n = 100_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        _bare(buf)
+    bare_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for _ in range(n):
+        _guarded(buf)
+    guarded_s = time.perf_counter() - t0
+
+    print("\nsanitize-mode overhead on GalioTGateway.process (best of 3):")
+    for mode, seconds, rel in rows:
+        print(f"  {mode:<6} {1e3 * seconds:8.2f} ms   {100 * rel:+6.2f} %")
+    print(
+        f"  off-mode dispatch: {1e9 * (guarded_s - bare_s) / n:6.1f} ns/call "
+        f"({guarded_s / bare_s:.2f}x a bare call)"
+    )

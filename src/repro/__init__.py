@@ -22,10 +22,20 @@ from __future__ import annotations
 
 __version__ = "0.1.0"
 
+from .contracts import (
+    ContractWarning,
+    SanitizeMode,
+    get_sanitize_mode,
+    iq_contract,
+    real_contract,
+    sanitize,
+    set_sanitize_mode,
+)
 from .errors import (
     CapacityError,
     ChecksumError,
     ConfigurationError,
+    ContractViolationError,
     DecodeError,
     FrameSyncError,
     ReproError,
@@ -42,7 +52,15 @@ __all__ = [
     "FrameSyncError",
     "ChecksumError",
     "CapacityError",
+    "ContractViolationError",
     "UnknownTechnologyError",
+    "SanitizeMode",
+    "ContractWarning",
+    "get_sanitize_mode",
+    "set_sanitize_mode",
+    "sanitize",
+    "iq_contract",
+    "real_contract",
     "Telemetry",
     "NullTelemetry",
     "NULL",

@@ -13,8 +13,11 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 import numpy as np
+
+from .contracts import set_sanitize_mode
 
 from .experiments import (
     format_table,
@@ -117,6 +120,31 @@ def _run_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    """Run the repo's DSP-aware linter (``tools/galiot_lint``)."""
+    try:
+        from galiot_lint.cli import main as lint_main
+    except ImportError:
+        tools = Path(__file__).resolve().parents[2] / "tools"
+        if not (tools / "galiot_lint").is_dir():
+            print(
+                "galiot-lint is unavailable (tools/galiot_lint not found; "
+                "run from a source checkout)",
+                file=sys.stderr,
+            )
+            return 2
+        sys.path.insert(0, str(tools))
+        from galiot_lint.cli import main as lint_main
+    argv = list(args.paths)
+    for selected in args.select or []:
+        argv += ["--select", selected]
+    for ignored in args.ignore or []:
+        argv += ["--ignore", ignored]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -131,6 +159,15 @@ def main(argv: list[str] | None = None) -> int:
         description=(
             "GalioT (HotNets'18) reproduction: regenerate the paper's "
             "tables and figures, or drive the streaming gateway."
+        ),
+    )
+    parser.add_argument(
+        "--sanitize",
+        choices=["off", "warn", "raise"],
+        default=None,
+        help=(
+            "runtime signal-contract mode for this invocation "
+            "(overrides the GALIOT_SANITIZE environment variable)"
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
@@ -171,7 +208,30 @@ def main(argv: list[str] | None = None) -> int:
         "--seed", type=int, default=0xC0FFEE, help="scene RNG seed"
     )
     stream.set_defaults(func=_run_stream)
+    lint = sub.add_parser(
+        "lint",
+        help="run the DSP-aware static-analysis pass (galiot-lint)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--select", action="append", default=None, metavar="CODES",
+        help="comma-separated rule codes/prefixes to enable (e.g. GL001,GL004)",
+    )
+    lint.add_argument(
+        "--ignore", action="append", default=None, metavar="CODES",
+        help="comma-separated rule codes/prefixes to disable",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="list the available rules and exit",
+    )
+    lint.set_defaults(func=_run_lint)
     args = parser.parse_args(argv)
+    if args.sanitize is not None:
+        set_sanitize_mode(args.sanitize)
     return args.func(args)
 
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..contracts import iq_contract
 from ..dsp.correlation import find_peaks_above
 from ..dsp.resample import to_rate
 from ..errors import ConfigurationError
@@ -51,7 +52,7 @@ class SegmentClassifier:
 
     Args:
         modems: Registered technologies.
-        fs: Sample rate of incoming segments.
+        sample_rate_hz: Sample rate of incoming segments.
         k: CFAR factor for declaring a technology present.
         max_per_technology: Cap on same-technology frames per segment
             (each extra candidate costs the decoder a decode attempt,
@@ -61,14 +62,14 @@ class SegmentClassifier:
     def __init__(
         self,
         modems: list[Modem],
-        fs: float,
+        sample_rate_hz: float,
         k: float = 8.0,
         max_per_technology: int = 2,
     ):
         if not modems:
             raise ConfigurationError("at least one modem is required")
         self.modems = list(modems)
-        self.fs = float(fs)
+        self.sample_rate_hz = float(sample_rate_hz)
         self.k = float(k)
         self.max_per_technology = int(max_per_technology)
         # Precompute per-modem sync references once: classify() runs
@@ -89,11 +90,12 @@ class SegmentClassifier:
             ref_energy = float(np.sum(np.abs(ref) ** 2))
             self._refs.append((modem, ref, tpl, stride, block, ref_energy))
 
+    @iq_contract("samples")
     def classify(self, samples: np.ndarray) -> list[ClassifiedSignal]:
         """Rank the transmissions present in ``samples`` by power."""
         found: list[ClassifiedSignal] = []
         for modem, ref, tpl, stride, block, ref_energy in self._refs:
-            native = to_rate(samples, self.fs, modem.sample_rate)
+            native = to_rate(samples, self.sample_rate_hz, modem.sample_rate)
             if len(ref) > len(native):
                 continue
             # Spread-spectrum references correlate at a stride (the

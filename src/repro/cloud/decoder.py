@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..contracts import iq_contract
 from ..dsp.resample import to_rate
 from ..errors import ConfigurationError
 from ..phy.base import Modem
@@ -63,7 +64,7 @@ class CloudDecoder:
 
     Args:
         modems: Registered technologies.
-        fs: Sample rate of incoming segments.
+        sample_rate_hz: Sample rate of incoming segments.
         use_kill_filters: False disables the kill filters.
         strict_order: True makes the decoder a *classic* SIC receiver:
             it decodes strictly in decreasing power order and stops at
@@ -79,7 +80,7 @@ class CloudDecoder:
     def __init__(
         self,
         modems: list[Modem],
-        fs: float,
+        sample_rate_hz: float,
         use_kill_filters: bool = True,
         strict_order: bool = False,
         max_iterations: int = 12,
@@ -89,24 +90,24 @@ class CloudDecoder:
         if not modems:
             raise ConfigurationError("at least one modem is required")
         self.modems = {m.name: m for m in modems}
-        self.fs = float(fs)
+        self.sample_rate_hz = float(sample_rate_hz)
         self.use_kill_filters = use_kill_filters
         self.strict_order = strict_order
         self.max_iterations = int(max_iterations)
-        self.classifier = SegmentClassifier(modems, fs, k=classifier_k)
+        self.classifier = SegmentClassifier(modems, sample_rate_hz, k=classifier_k)
         self.telemetry = telemetry
 
     @classmethod
-    def galiot(cls, modems: list[Modem], fs: float, **kwargs) -> "CloudDecoder":
+    def galiot(cls, modems: list[Modem], sample_rate_hz: float, **kwargs) -> CloudDecoder:
         """Full GalioT decoder (kill filters + power-order fallback)."""
-        return cls(modems, fs, use_kill_filters=True, strict_order=False, **kwargs)
+        return cls(modems, sample_rate_hz, use_kill_filters=True, strict_order=False, **kwargs)
 
     @classmethod
     def sic_baseline(
-        cls, modems: list[Modem], fs: float, **kwargs
-    ) -> "CloudDecoder":
+        cls, modems: list[Modem], sample_rate_hz: float, **kwargs
+    ) -> CloudDecoder:
         """The paper's strawman: classic SIC, stop at the first failure."""
-        return cls(modems, fs, use_kill_filters=False, strict_order=True, **kwargs)
+        return cls(modems, sample_rate_hz, use_kill_filters=False, strict_order=True, **kwargs)
 
     # -- internals --------------------------------------------------------
 
@@ -119,9 +120,9 @@ class CloudDecoder:
             kill = kill_filter_for(modem)
         except ConfigurationError:
             return None
-        native = to_rate(samples, self.fs, modem.sample_rate)
+        native = to_rate(samples, self.sample_rate_hz, modem.sample_rate)
         filtered = kill.apply(native, modem.sample_rate, victim)
-        return to_rate(filtered, modem.sample_rate, self.fs)
+        return to_rate(filtered, modem.sample_rate, self.sample_rate_hz)
 
     def _record(
         self,
@@ -134,7 +135,7 @@ class CloudDecoder:
         """Store a success and cancel the frame from the working signal."""
         modem = self.modems[candidate.technology]
         residual, recon = reconstruct_and_subtract(
-            working, self.fs, modem, frame
+            working, self.sample_rate_hz, modem, frame
         )
         report.sic_cancellations += 1
         report.results.append(
@@ -185,6 +186,7 @@ class CloudDecoder:
 
     # -- the algorithm -------------------------------------------------------
 
+    @iq_contract("samples")
     def decode(self, samples: np.ndarray) -> CloudDecodeReport:
         """Run CLOUDDECODE over one segment."""
         with self.telemetry.span("cloud.decode"):
@@ -208,7 +210,7 @@ class CloudDecoder:
             open_candidates.sort(key=lambda c: c.power, reverse=True)
             strongest = open_candidates[0]
             modem = self.modems[strongest.technology]
-            frame = try_decode(modem, working, self.fs)
+            frame = try_decode(modem, working, self.sample_rate_hz)
             if frame is not None and not any(
                 self._same_frame(r, frame.start, strongest.technology)
                 for r in report.results
@@ -263,7 +265,7 @@ class CloudDecoder:
                     if filtered is None:
                         continue
                     report.kill_invocations += 1
-                    frame = try_decode(modem, filtered, self.fs)
+                    frame = try_decode(modem, filtered, self.sample_rate_hz)
                     if frame is not None and any(
                         self._same_frame(r, frame.start, strongest.technology)
                         for r in report.results

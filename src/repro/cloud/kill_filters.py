@@ -19,15 +19,16 @@ the modulation class of the technology to kill:
   sequence is projected out (per-symbol least-squares reconstruction of
   the spread waveform, subtracted in the time domain).
 
-All filters implement ``apply(samples, fs, target) -> np.ndarray`` where
+All filters implement ``apply(samples, sample_rate_hz, target) -> np.ndarray`` where
 ``target`` is the classifier's :class:`~repro.cloud.classify.ClassifiedSignal`
-for the technology to remove, with sample indices at rate ``fs``.
+for the technology to remove, with sample indices at rate ``sample_rate_hz``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..contracts import iq_contract
 from ..dsp.chirp import base_downchirp, base_upchirp
 from ..dsp.filters import fft_notch
 from ..errors import ConfigurationError
@@ -82,11 +83,12 @@ class KillFrequency:
         half = max(self.modem.bandwidth / 2, width)
         return [(center_hz - half, center_hz + half)]
 
+    @iq_contract("samples")
     def apply(
-        self, samples: np.ndarray, fs: float, target: ClassifiedSignal | None = None
+        self, samples: np.ndarray, sample_rate_hz: float, target: ClassifiedSignal | None = None
     ) -> np.ndarray:
         """Notch the target's tone bands out of ``samples``."""
-        return fft_notch(samples, fs, self.bands())
+        return fft_notch(samples, sample_rate_hz, self.bands())
 
 
 class KillCss:
@@ -135,15 +137,16 @@ class KillCss:
                     magnitude[idx] = 0
         return np.fft.ifft(spectrum) * np.conj(ref)
 
+    @iq_contract("samples")
     def apply(
-        self, samples: np.ndarray, fs: float, target: ClassifiedSignal
+        self, samples: np.ndarray, sample_rate_hz: float, target: ClassifiedSignal
     ) -> np.ndarray:
         """Remove the CSS signal starting near ``target.start``.
 
-        ``target.start`` must be expressed at rate ``fs`` and ``fs`` must
+        ``target.start`` must be expressed at rate ``sample_rate_hz`` and ``sample_rate_hz`` must
         equal the modem's native rate (the cloud pipeline arranges this).
         """
-        if abs(fs - self.modem.sample_rate) > 1e-6 * fs:
+        if abs(sample_rate_hz - self.modem.sample_rate) > 1e-6 * sample_rate_hz:
             raise ConfigurationError(
                 "KillCss must run at the CSS modem's native sample rate"
             )
@@ -197,11 +200,12 @@ class KillCodes:
         self.modem = modem
         self.block_s = float(block_s)
 
+    @iq_contract("samples")
     def apply(
-        self, samples: np.ndarray, fs: float, target: ClassifiedSignal
+        self, samples: np.ndarray, sample_rate_hz: float, target: ClassifiedSignal
     ) -> np.ndarray:
         """Remove the DSSS signal starting near ``target.start``."""
-        if abs(fs - self.modem.sample_rate) > 1e-6 * fs:
+        if abs(sample_rate_hz - self.modem.sample_rate) > 1e-6 * sample_rate_hz:
             raise ConfigurationError(
                 "KillCodes must run at the DSSS modem's native sample rate"
             )
@@ -236,7 +240,7 @@ class KillCodes:
         wave = chips_to_oqpsk(clean_chips, sps) * np.exp(1j * best_phi)
         # Per-block LS subtraction of the reconstructed stream.
         out = samples.copy()
-        block = max(int(self.block_s * fs), 64)
+        block = max(int(self.block_s * sample_rate_hz), 64)
         stop = min(start + len(wave), len(out))
         ref = wave[: stop - start]
         for pos in range(0, len(ref), block):
@@ -250,7 +254,7 @@ class KillCodes:
         return out
 
 
-def kill_filter_for(modem: Modem):
+def kill_filter_for(modem: Modem) -> KillFrequency | KillCss | KillCodes:
     """Pick the kill filter class for a technology's modulation."""
     if modem.modulation in (ModulationClass.FSK, ModulationClass.PSK):
         return KillFrequency(modem)

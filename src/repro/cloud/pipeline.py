@@ -49,7 +49,7 @@ class CloudService:
 
     Args:
         modems: Registered technologies.
-        fs: Capture sample rate of arriving segments.
+        sample_rate_hz: Capture sample rate of arriving segments.
         use_kill_filters: False runs the SIC-only baseline.
         codec: Wire codec for compressed segments.
         telemetry: Metrics sink threaded into the decoder and codec
@@ -59,7 +59,7 @@ class CloudService:
     def __init__(
         self,
         modems: list[Modem],
-        fs: float,
+        sample_rate_hz: float,
         use_kill_filters: bool = True,
         strict_order: bool = False,
         codec: SegmentCodec | None = None,
@@ -68,7 +68,7 @@ class CloudService:
         self.telemetry = telemetry
         self.decoder = CloudDecoder(
             modems,
-            fs,
+            sample_rate_hz,
             use_kill_filters=use_kill_filters,
             strict_order=strict_order,
             telemetry=telemetry,

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..contracts import iq_contract
 from ..dsp.resample import to_rate
 from ..errors import ReproError
 from ..phy.base import FrameResult, Modem
@@ -39,23 +40,25 @@ class ReconstructionReport:
     cancelled_db: float
 
 
-def try_decode(modem: Modem, samples: np.ndarray, fs: float) -> FrameResult | None:
-    """Attempt a plain decode of ``modem`` on ``samples`` at rate ``fs``.
+@iq_contract("samples")
+def try_decode(modem: Modem, samples: np.ndarray, sample_rate_hz: float) -> FrameResult | None:
+    """Attempt a plain decode of ``modem`` on ``samples`` at rate ``sample_rate_hz``.
 
     Returns ``None`` instead of raising when sync or decoding fails or
     the checksum is bad — Algorithm 1 treats all three identically.
     """
     try:
-        native = to_rate(samples, fs, modem.sample_rate)
+        native = to_rate(samples, sample_rate_hz, modem.sample_rate)
         frame = modem.demodulate(native)
     except ReproError:
         return None
     return frame if frame.crc_ok else None
 
 
+@iq_contract("samples")
 def reconstruct_and_subtract(
     samples: np.ndarray,
-    fs: float,
+    sample_rate_hz: float,
     modem: Modem,
     frame: FrameResult,
     block_s: float = 0.25e-3,
@@ -63,8 +66,8 @@ def reconstruct_and_subtract(
     """Subtract a decoded frame's waveform from ``samples``.
 
     Args:
-        samples: The working segment at rate ``fs``.
-        fs: Segment sample rate.
+        samples: The working segment at rate ``sample_rate_hz``.
+        sample_rate_hz: Segment sample rate.
         modem: Technology of the decoded frame.
         frame: The decode result (``payload`` + native-rate ``start``).
         block_s: Gain-fit block length in seconds.
@@ -74,14 +77,14 @@ def reconstruct_and_subtract(
         where the LS fit is degenerate are left unchanged.
     """
     wave = modem.modulate(frame.payload)
-    wave = to_rate(wave, modem.sample_rate, fs)
-    start = int(round(frame.start * fs / modem.sample_rate))
+    wave = to_rate(wave, modem.sample_rate, sample_rate_hz)
+    start = int(round(frame.start * sample_rate_hz / modem.sample_rate))
     # Local alignment search: a carrier offset biases chirp correlation
     # peaks by several samples (time-frequency coupling), and a
     # misaligned subtraction smears instead of cancelling. Score small
     # offsets with non-coherent block correlation and keep the best.
-    probe = wave[: min(len(wave), int(8e-3 * fs))]
-    block = max(int(0.25e-3 * fs), 128)
+    probe = wave[: min(len(wave), int(8e-3 * sample_rate_hz))]
+    block = max(int(0.25e-3 * sample_rate_hz), 128)
     best_metric = -1.0
     best_start = start
     for cand in range(start - 16, start + 17):
@@ -101,7 +104,7 @@ def reconstruct_and_subtract(
     ref = wave[: stop - start]
     region = samples[start:stop]
     before = float(np.sum(np.abs(region) ** 2))
-    block = max(int(block_s * fs), 128)
+    block = max(int(block_s * sample_rate_hz), 128)
     residual = samples.copy()
     first_gain = 0j
     for pos in range(0, len(ref), block):

@@ -7,10 +7,10 @@ own occupied bandwidth**:
 
     snr_db = 10 log10( P_signal / (N0 * B_signal) )
 
-The scene composer works at the capture rate ``fs`` (1 MHz in the paper's
+The scene composer works at the capture rate ``sample_rate_hz`` (1 MHz in the paper's
 prototype), so the complex noise added across the full capture bandwidth
-has power ``N0 * fs``. A signal of bandwidth ``B`` at in-band SNR ``s``
-therefore has full-band "SNR" lower by ``10 log10(fs / B)`` — which is why
+has power ``N0 * sample_rate_hz``. A signal of bandwidth ``B`` at in-band SNR ``s``
+therefore has full-band "SNR" lower by ``10 log10(sample_rate_hz / B)`` — which is why
 the paper's sub-noise (-30 dB) packets are invisible to an energy detector
 but still carry enough correlation gain to be detected.
 """
@@ -63,22 +63,22 @@ def awgn(
 
 
 def noise_for_band_snr(
-    signal_pwr: float, snr_db: float, signal_bw: float, fs: float
+    signal_pwr: float, snr_db: float, signal_bw: float, sample_rate_hz: float
 ) -> float:
     """Full-band noise power that yields ``snr_db`` inside ``signal_bw``.
 
     Returns the total complex-noise power to generate at sample rate
-    ``fs`` so that the noise falling inside the signal's bandwidth is
+    ``sample_rate_hz`` so that the noise falling inside the signal's bandwidth is
     ``signal_pwr / 10**(snr_db/10)``.
     """
-    if signal_bw <= 0 or fs <= 0 or signal_bw > fs:
-        raise ConfigurationError("need 0 < signal_bw <= fs")
+    if signal_bw <= 0 or sample_rate_hz <= 0 or signal_bw > sample_rate_hz:
+        raise ConfigurationError("need 0 < signal_bw <= sample_rate_hz")
     in_band_noise = signal_pwr / (10 ** (snr_db / 10))
-    return in_band_noise * fs / signal_bw
+    return in_band_noise * sample_rate_hz / signal_bw
 
 
 def scale_to_snr(
-    x: np.ndarray, snr_db: float, noise_power: float, signal_bw: float, fs: float
+    x: np.ndarray, snr_db: float, noise_power: float, signal_bw: float, sample_rate_hz: float
 ) -> np.ndarray:
     """Scale ``x`` so its in-band SNR against ``noise_power`` is ``snr_db``.
 
@@ -86,12 +86,12 @@ def scale_to_snr(
     power (the scene's common noise floor), compute the amplitude at which
     a packet must be injected to achieve a target in-band SNR.
     """
-    if signal_bw <= 0 or fs <= 0 or signal_bw > fs:
-        raise ConfigurationError("need 0 < signal_bw <= fs")
+    if signal_bw <= 0 or sample_rate_hz <= 0 or signal_bw > sample_rate_hz:
+        raise ConfigurationError("need 0 < signal_bw <= sample_rate_hz")
     current = signal_power(x)
     if current <= 0:
         raise ConfigurationError("cannot scale a zero-power signal")
-    in_band_noise = noise_power * signal_bw / fs
+    in_band_noise = noise_power * signal_bw / sample_rate_hz
     target = in_band_noise * (10 ** (snr_db / 10))
     return x * np.sqrt(target / current)
 

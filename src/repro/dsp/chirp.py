@@ -2,7 +2,7 @@
 
 A LoRa symbol with spreading factor ``SF`` occupies ``N = 2**SF`` chips
 spread across the signal bandwidth ``BW``; at the critically-sampled rate
-``fs == BW`` the base upchirp is
+``sample_rate_hz == BW`` the base upchirp is
 
     b[n] = exp(j * pi * (n^2 / N - n)),   n = 0..N-1
 
@@ -31,17 +31,17 @@ __all__ = [
 ]
 
 
-def oversampling_factor(fs: float, bw: float) -> int:
-    """Integer oversampling factor ``fs / bw``.
+def oversampling_factor(sample_rate_hz: float, bw: float) -> int:
+    """Integer oversampling factor ``sample_rate_hz / bw``.
 
     Raises:
-        ConfigurationError: if ``fs`` is not an integer multiple of ``bw``.
+        ConfigurationError: if ``sample_rate_hz`` is not an integer multiple of ``bw``.
     """
-    ratio = fs / bw
+    ratio = sample_rate_hz / bw
     factor = int(round(ratio))
     if factor < 1 or abs(ratio - factor) > 1e-9:
         raise ConfigurationError(
-            f"sample rate {fs} must be an integer multiple of bandwidth {bw}"
+            f"sample rate {sample_rate_hz} must be an integer multiple of bandwidth {bw}"
         )
     return factor
 
@@ -78,13 +78,13 @@ def lora_symbol(symbol: int, sf: int, oversample: int = 1) -> np.ndarray:
 
 
 def linear_chirp(
-    f_start: float, f_stop: float, duration: float, fs: float, phase0: float = 0.0
+    f_start: float, f_stop: float, duration: float, sample_rate_hz: float, phase0: float = 0.0
 ) -> np.ndarray:
     """Generic complex linear chirp from ``f_start`` to ``f_stop`` Hz."""
     if duration <= 0:
         raise ConfigurationError("duration must be positive")
-    n = int(round(duration * fs))
-    t = np.arange(n) / fs
+    n = int(round(duration * sample_rate_hz))
+    t = np.arange(n) / sample_rate_hz
     sweep_rate = (f_stop - f_start) / duration
     phase = 2 * np.pi * (f_start * t + 0.5 * sweep_rate * t**2) + phase0
     return np.exp(1j * phase)

@@ -27,24 +27,24 @@ __all__ = [
 
 
 def design_lowpass_fir(
-    num_taps: int, cutoff_hz: float, fs: float, window: str = "hamming"
+    num_taps: int, cutoff_hz: float, sample_rate_hz: float, window: str = "hamming"
 ) -> np.ndarray:
     """Windowed-sinc linear-phase lowpass FIR.
 
     Args:
         num_taps: Filter length (odd lengths give integer group delay).
         cutoff_hz: One-sided cutoff frequency.
-        fs: Sample rate.
+        sample_rate_hz: Sample rate.
         window: Any window name accepted by scipy.
 
     Raises:
-        ConfigurationError: if the cutoff is not inside (0, fs/2).
+        ConfigurationError: if the cutoff is not inside (0, sample_rate_hz/2).
     """
-    if not 0 < cutoff_hz < fs / 2:
-        raise ConfigurationError("cutoff must be inside (0, fs/2)")
+    if not 0 < cutoff_hz < sample_rate_hz / 2:
+        raise ConfigurationError("cutoff must be inside (0, sample_rate_hz/2)")
     if num_taps < 3:
         raise ConfigurationError("num_taps must be >= 3")
-    return sp_signal.firwin(num_taps, cutoff_hz, fs=fs, window=window)
+    return sp_signal.firwin(num_taps, cutoff_hz, fs=sample_rate_hz, window=window)
 
 
 def fir_filter(x: np.ndarray, taps: np.ndarray, mode: str = "same") -> np.ndarray:
@@ -89,12 +89,12 @@ def moving_average(x: np.ndarray, n: int) -> np.ndarray:
     return np.convolve(x, kernel, mode="same")
 
 
-def _band_mask(n: int, fs: float, bands: list[tuple[float, float]]) -> np.ndarray:
+def _band_mask(n: int, sample_rate_hz: float, bands: list[tuple[float, float]]) -> np.ndarray:
     """Boolean FFT-bin mask that is True inside any of ``bands``.
 
     Bands are (low, high) in Hz and may be negative (complex baseband).
     """
-    freqs = np.fft.fftfreq(n, d=1.0 / fs)
+    freqs = np.fft.fftfreq(n, d=1.0 / sample_rate_hz)
     mask = np.zeros(n, dtype=bool)
     for low, high in bands:
         if high < low:
@@ -104,7 +104,7 @@ def _band_mask(n: int, fs: float, bands: list[tuple[float, float]]) -> np.ndarra
 
 
 def fft_notch(
-    x: np.ndarray, fs: float, bands: list[tuple[float, float]]
+    x: np.ndarray, sample_rate_hz: float, bands: list[tuple[float, float]]
 ) -> np.ndarray:
     """Zero the FFT bins falling inside ``bands`` (brick-wall notch).
 
@@ -114,18 +114,18 @@ def fft_notch(
     spread-spectrum signal.
     """
     spectrum = np.fft.fft(x)
-    spectrum[_band_mask(len(x), fs, bands)] = 0
+    spectrum[_band_mask(len(x), sample_rate_hz, bands)] = 0
     return np.fft.ifft(spectrum)
 
 
-def fft_bandpass(x: np.ndarray, fs: float, band: tuple[float, float]) -> np.ndarray:
+def fft_bandpass(x: np.ndarray, sample_rate_hz: float, band: tuple[float, float]) -> np.ndarray:
     """Keep only the FFT bins inside ``band`` (brick-wall bandpass)."""
     spectrum = np.fft.fft(x)
-    spectrum[~_band_mask(len(x), fs, [band])] = 0
+    spectrum[~_band_mask(len(x), sample_rate_hz, [band])] = 0
     return np.fft.ifft(spectrum)
 
 
-def frequency_shift(x: np.ndarray, shift_hz: float, fs: float) -> np.ndarray:
+def frequency_shift(x: np.ndarray, shift_hz: float, sample_rate_hz: float) -> np.ndarray:
     """Mix ``x`` by ``exp(+j 2 pi shift_hz t)`` (moves energy up by shift)."""
     n = np.arange(len(x))
-    return x * np.exp(2j * np.pi * shift_hz * n / fs)
+    return x * np.exp(2j * np.pi * shift_hz * n / sample_rate_hz)

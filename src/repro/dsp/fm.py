@@ -3,7 +3,7 @@
 The quadrature (polar) discriminator is the workhorse of every FSK-family
 demodulator in this package: the angle of ``x[n] * conj(x[n-1])`` is the
 per-sample phase advance, i.e. instantaneous frequency scaled by
-``2 pi / fs``.
+``2 pi / sample_rate_hz``.
 """
 
 from __future__ import annotations
@@ -17,13 +17,13 @@ def quadrature_demod(x: np.ndarray, gain: float = 1.0) -> np.ndarray:
     """Per-sample phase advance of ``x`` times ``gain``.
 
     Output has ``len(x) - 1`` samples. With
-    ``gain = fs / (2 * pi)`` the output is instantaneous frequency in Hz.
+    ``gain = sample_rate_hz / (2 * pi)`` the output is instantaneous frequency in Hz.
     """
     if len(x) < 2:
         return np.zeros(0)
     return gain * np.angle(x[1:] * np.conj(x[:-1]))
 
 
-def instantaneous_frequency(x: np.ndarray, fs: float) -> np.ndarray:
+def instantaneous_frequency(x: np.ndarray, sample_rate_hz: float) -> np.ndarray:
     """Instantaneous frequency in Hz (length ``len(x) - 1``)."""
-    return quadrature_demod(x, gain=fs / (2 * np.pi))
+    return quadrature_demod(x, gain=sample_rate_hz / (2 * np.pi))

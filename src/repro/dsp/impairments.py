@@ -29,10 +29,10 @@ def cfo_from_ppm(ppm: float, carrier_hz: float) -> float:
     return ppm * 1e-6 * carrier_hz
 
 
-def apply_cfo(x: np.ndarray, cfo_hz: float, fs: float) -> np.ndarray:
+def apply_cfo(x: np.ndarray, cfo_hz: float, sample_rate_hz: float) -> np.ndarray:
     """Rotate ``x`` by a constant frequency offset."""
     n = np.arange(len(x))
-    return x * np.exp(2j * np.pi * cfo_hz * n / fs)
+    return x * np.exp(2j * np.pi * cfo_hz * n / sample_rate_hz)
 
 
 def apply_phase(x: np.ndarray, phase_rad: float) -> np.ndarray:

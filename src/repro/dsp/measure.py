@@ -85,7 +85,7 @@ def estimate_snr_db(signal_region: np.ndarray, noise_region: np.ndarray) -> floa
     return float(10 * np.log10(sig_p / noise_p))
 
 
-def occupied_bandwidth(x: np.ndarray, fs: float, fraction: float = 0.99) -> float:
+def occupied_bandwidth(x: np.ndarray, sample_rate_hz: float, fraction: float = 0.99) -> float:
     """Bandwidth containing ``fraction`` of the total signal energy.
 
     Computed from the centred power spectrum: bins are sorted by energy
@@ -104,4 +104,4 @@ def occupied_bandwidth(x: np.ndarray, fs: float, fraction: float = 0.99) -> floa
     order = np.argsort(spectrum)[::-1]
     cum = np.cumsum(spectrum[order])
     n_bins = int(np.searchsorted(cum, fraction * total) + 1)
-    return n_bins * fs / len(x)
+    return n_bins * sample_rate_hz / len(x)

@@ -15,26 +15,26 @@ __all__ = ["welch_psd", "stft", "dominant_tones"]
 
 
 def welch_psd(
-    x: np.ndarray, fs: float, nperseg: int = 256
+    x: np.ndarray, sample_rate_hz: float, nperseg: int = 256
 ) -> tuple[np.ndarray, np.ndarray]:
     """Welch power spectral density of a complex baseband signal.
 
     Returns:
-        ``(freqs, psd)`` with frequencies sorted ascending from ``-fs/2``
-        to ``+fs/2`` (fftshifted).
+        ``(freqs, psd)`` with frequencies sorted ascending from ``-sample_rate_hz/2``
+        to ``+sample_rate_hz/2`` (fftshifted).
     """
     if len(x) < 2:
         raise ConfigurationError("need at least two samples for a PSD")
     nperseg = min(nperseg, len(x))
     freqs, psd = sp_signal.welch(
-        x, fs=fs, nperseg=nperseg, return_onesided=False, detrend=False
+        x, fs=sample_rate_hz, nperseg=nperseg, return_onesided=False, detrend=False
     )
     order = np.argsort(freqs)
     return freqs[order], psd[order]
 
 
 def stft(
-    x: np.ndarray, fs: float, nfft: int = 256, hop: int | None = None
+    x: np.ndarray, sample_rate_hz: float, nfft: int = 256, hop: int | None = None
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Short-time Fourier transform magnitude.
 
@@ -55,13 +55,13 @@ def stft(
         if len(seg) < nfft:
             seg = np.pad(seg, (0, nfft - len(seg)))
         mags[:, i] = np.abs(np.fft.fftshift(np.fft.fft(seg * window)))
-    freqs = np.fft.fftshift(np.fft.fftfreq(nfft, d=1.0 / fs))
-    times = starts / fs
+    freqs = np.fft.fftshift(np.fft.fftfreq(nfft, d=1.0 / sample_rate_hz))
+    times = starts / sample_rate_hz
     return times, freqs, mags
 
 
 def dominant_tones(
-    x: np.ndarray, fs: float, n_tones: int, min_separation_hz: float
+    x: np.ndarray, sample_rate_hz: float, n_tones: int, min_separation_hz: float
 ) -> list[float]:
     """Frequencies of the ``n_tones`` strongest spectral peaks.
 
@@ -73,7 +73,7 @@ def dominant_tones(
     if n_tones < 1:
         raise ConfigurationError("n_tones must be >= 1")
     spectrum = np.abs(np.fft.fft(x)) ** 2
-    freqs = np.fft.fftfreq(len(x), d=1.0 / fs)
+    freqs = np.fft.fftfreq(len(x), d=1.0 / sample_rate_hz)
     order = np.argsort(spectrum)[::-1]
     chosen: list[float] = []
     for idx in order:

@@ -33,5 +33,14 @@ class CapacityError(ReproError):
     """A modelled resource (backhaul link, ADC range) was exceeded."""
 
 
+class ContractViolationError(ReproError):
+    """A runtime signal contract (:mod:`repro.contracts`) was violated.
+
+    Raised only when the process-wide sanitize mode is ``"raise"``; in
+    ``"warn"`` mode the same condition emits a
+    :class:`~repro.contracts.ContractWarning` instead.
+    """
+
+
 class UnknownTechnologyError(ReproError, KeyError):
     """A technology name is not present in the PHY registry."""

@@ -46,11 +46,11 @@ def format_table(table: ExperimentTable) -> str:
         for i, h in enumerate(table.columns)
     ]
     lines = [table.title, "=" * len(table.title)]
-    header = "  ".join(h.ljust(w) for h, w in zip(table.columns, widths))
+    header = "  ".join(h.ljust(w) for h, w in zip(table.columns, widths, strict=True))
     lines.append(header)
     lines.append("-" * len(header))
     for row in cells:
-        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths, strict=True)))
     for note in table.notes:
         lines.append(f"note: {note}")
     return "\n".join(lines)

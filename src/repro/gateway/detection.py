@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..contracts import iq_contract
 from ..dsp.correlation import cross_correlate, find_peaks_above
 from ..dsp.filters import moving_average
 from ..dsp.resample import to_rate
@@ -126,15 +127,18 @@ class EnergyDetector:
     name: str = "energy"
     telemetry: Telemetry = field(default=NULL, repr=False, compare=False)
 
+    @iq_contract("samples")
     def calibrate(self, samples: np.ndarray) -> float:
         """Freeze the threshold from a calibration capture."""
         self.threshold = cfar_threshold(self.scores(samples), self.k)
         return self.threshold
 
+    @iq_contract("samples")
     def scores(self, samples: np.ndarray) -> np.ndarray:
         """Smoothed power track."""
         return moving_average(np.abs(samples) ** 2, self.window)
 
+    @iq_contract("samples")
     def detect(self, samples: np.ndarray) -> list[DetectionEvent]:
         """Events at the rising edge of every above-threshold region."""
         self.telemetry.count("detect.samples_in", len(samples))
@@ -178,7 +182,7 @@ class PreambleBankDetector:
 
     Args:
         modems: The technologies to detect.
-        fs: Capture sample rate (modem preambles are resampled to it).
+        sample_rate_hz: Capture sample rate (modem preambles are resampled to it).
         k: CFAR factor on each technology's score track.
         min_distance: Minimum spacing between events of one technology.
         block: Coherent block length for CFO-tolerant correlation
@@ -195,7 +199,7 @@ class PreambleBankDetector:
     def __init__(
         self,
         modems: list[Modem],
-        fs: float,
+        sample_rate_hz: float,
         k: float = 7.0,
         min_distance: int = 1024,
         block: int | None = None,
@@ -205,18 +209,19 @@ class PreambleBankDetector:
     ):
         if not modems:
             raise ConfigurationError("at least one modem is required")
-        self.fs = float(fs)
+        self.sample_rate_hz = float(sample_rate_hz)
         self.k = float(k)
         self.min_distance = int(min_distance)
         self.block = block
         self.threshold = threshold
         self.telemetry = telemetry
-        cap = max(int(max_template_s * fs), 1)
+        cap = max(int(max_template_s * sample_rate_hz), 1)
         self.templates = {
-            m.name: to_rate(m.preamble_waveform(), m.sample_rate, self.fs)[:cap]
+            m.name: to_rate(m.preamble_waveform(), m.sample_rate, self.sample_rate_hz)[:cap]
             for m in modems
         }
 
+    @iq_contract("samples")
     def calibrate(self, samples: np.ndarray) -> dict[str, float]:
         """Freeze per-technology thresholds from a calibration capture."""
         self.threshold = {
@@ -244,6 +249,7 @@ class PreambleBankDetector:
     def _score(self, samples: np.ndarray, template: np.ndarray) -> np.ndarray:
         return matched_filter_track(samples, template, self.block)
 
+    @iq_contract("samples")
     def detect(self, samples: np.ndarray) -> list[DetectionEvent]:
         """Per-technology correlation peaks above each CFAR threshold."""
         self.telemetry.count("detect.samples_in", len(samples))
@@ -266,6 +272,7 @@ class PreambleBankDetector:
         self.telemetry.count("detect.events", len(events))
         return sorted(events, key=lambda e: e.index)
 
+    @iq_contract("samples")
     def stream_candidates(
         self, samples: np.ndarray
     ) -> list[tuple[str | None, int, np.ndarray, np.ndarray]]:

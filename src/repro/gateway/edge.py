@@ -39,7 +39,7 @@ class EdgeDecoder:
 
     Args:
         modems: Registered technologies.
-        fs: Capture sample rate of incoming segments.
+        sample_rate_hz: Capture sample rate of incoming segments.
         ship_on_multi_detection: Treat segments whose detector found
             more than one event as potential collisions and ship them
             even if one frame decoded locally (the cloud may recover
@@ -50,12 +50,12 @@ class EdgeDecoder:
     def __init__(
         self,
         modems: list[Modem],
-        fs: float,
+        sample_rate_hz: float,
         ship_on_multi_detection: bool = True,
         telemetry: Telemetry = NULL,
     ):
         self.modems = list(modems)
-        self.fs = float(fs)
+        self.sample_rate_hz = float(sample_rate_hz)
         self.ship_on_multi_detection = ship_on_multi_detection
         self.telemetry = telemetry
 
@@ -65,7 +65,7 @@ class EdgeDecoder:
         with self.telemetry.span("edge"):
             for modem in self.modems:
                 try:
-                    native = to_rate(segment.samples, self.fs, modem.sample_rate)
+                    native = to_rate(segment.samples, self.sample_rate_hz, modem.sample_rate)
                     frame = modem.demodulate(native)
                 except ReproError:
                     continue

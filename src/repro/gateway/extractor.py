@@ -14,6 +14,7 @@ import math
 
 import numpy as np
 
+from ..contracts import iq_contract
 from ..errors import ConfigurationError
 from ..phy.base import Modem
 from ..telemetry import NULL, Telemetry
@@ -22,12 +23,12 @@ from ..types import DetectionEvent, Segment
 __all__ = ["SegmentExtractor", "max_frame_samples"]
 
 
-def max_frame_samples(modems: list[Modem], fs: float, payload_len: int) -> int:
+def max_frame_samples(modems: list[Modem], sample_rate_hz: float, payload_len: int) -> int:
     """Largest frame length across technologies, in capture samples."""
     if not modems:
         raise ConfigurationError("at least one modem is required")
     return max(
-        math.ceil(m.frame_airtime(min(payload_len, m.max_payload)) * fs)
+        math.ceil(m.frame_airtime(min(payload_len, m.max_payload)) * sample_rate_hz)
         for m in modems
     )
 
@@ -37,7 +38,7 @@ class SegmentExtractor:
 
     Args:
         modems: Registered technologies (to size the maximum packet).
-        fs: Capture sample rate.
+        sample_rate_hz: Capture sample rate.
         typical_payload: Payload size used to bound the frame length.
         span_factor: Segment length as a multiple of the maximum frame
             (the paper ships 2x).
@@ -50,7 +51,7 @@ class SegmentExtractor:
     def __init__(
         self,
         modems: list[Modem],
-        fs: float,
+        sample_rate_hz: float,
         typical_payload: int = 32,
         span_factor: float = 2.0,
         pre_fraction: float = 0.1,
@@ -60,12 +61,13 @@ class SegmentExtractor:
             raise ConfigurationError("span_factor must be positive")
         if not 0 <= pre_fraction < 1:
             raise ConfigurationError("pre_fraction must be in [0, 1)")
-        self.fs = float(fs)
-        self.max_frame = max_frame_samples(modems, fs, typical_payload)
+        self.sample_rate_hz = float(sample_rate_hz)
+        self.max_frame = max_frame_samples(modems, sample_rate_hz, typical_payload)
         self.span = math.ceil(span_factor * self.max_frame)
         self.pre = math.ceil(self.span * pre_fraction)
         self.telemetry = telemetry
 
+    @iq_contract("samples")
     def extract(
         self, samples: np.ndarray, events: list[DetectionEvent]
     ) -> list[Segment]:
@@ -92,7 +94,7 @@ class SegmentExtractor:
                     Segment(
                         start=lo,
                         samples=samples[lo:hi].copy(),
-                        sample_rate=self.fs,
+                        sample_rate=self.sample_rate_hz,
                         detections=covered,
                     )
                 )

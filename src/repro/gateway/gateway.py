@@ -15,10 +15,12 @@ both fronts account identically.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..contracts import iq_contract
 from ..errors import CapacityError
 from ..phy.base import Modem
 from ..telemetry import NULL, Telemetry
@@ -69,7 +71,7 @@ class GatewayReport:
             return float("inf")
         return self.raw_bits / self.shipped_bits
 
-    def absorb(self, other: "GatewayReport") -> "GatewayReport":
+    def absorb(self, other: GatewayReport) -> GatewayReport:
         """Fold another report's contents into this one, in place.
 
         Used by the streaming front to merge incremental chunk reports;
@@ -86,7 +88,7 @@ class GatewayReport:
         return self
 
     @staticmethod
-    def merged(reports: "list[GatewayReport]") -> "GatewayReport":
+    def merged(reports: list[GatewayReport]) -> GatewayReport:
         """A fresh report holding the sum of ``reports`` (in order)."""
         total = GatewayReport()
         for report in reports:
@@ -99,7 +101,7 @@ class GalioTGateway:
 
     Args:
         modems: Registered technologies (the "software update" surface).
-        fs: Capture sample rate.
+        sample_rate_hz: Capture sample rate.
         detector: ``"universal"`` (GalioT), ``"bank"`` (optimal,
             per-technology) or ``"energy"`` (baseline).
         front_end: RTL-SDR model; ``None`` processes the clean stream.
@@ -114,7 +116,7 @@ class GalioTGateway:
     def __init__(
         self,
         modems: list[Modem],
-        fs: float = 1e6,
+        sample_rate_hz: float = 1e6,
         detector: str = "universal",
         front_end: RtlSdrModel | None = None,
         use_edge: bool = True,
@@ -123,8 +125,15 @@ class GalioTGateway:
         telemetry: Telemetry | None = None,
         **detector_kwargs,
     ):
+        if "fs" in detector_kwargs:
+            warnings.warn(
+                "GalioTGateway(fs=...) is deprecated; use sample_rate_hz=...",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            sample_rate_hz = float(detector_kwargs.pop("fs"))
         self.modems = list(modems)
-        self.fs = float(fs)
+        self.sample_rate_hz = float(sample_rate_hz)
         self.front_end = front_end
         self.use_edge = use_edge
         self.telemetry = telemetry if telemetry is not None else NULL
@@ -135,21 +144,21 @@ class GalioTGateway:
         if self.backhaul is not None and self.backhaul.telemetry is NULL:
             self.backhaul.telemetry = self.telemetry
         self.extractor = SegmentExtractor(
-            self.modems, self.fs, telemetry=self.telemetry
+            self.modems, self.sample_rate_hz, telemetry=self.telemetry
         )
         self.edge = (
-            EdgeDecoder(self.modems, self.fs, telemetry=self.telemetry)
+            EdgeDecoder(self.modems, self.sample_rate_hz, telemetry=self.telemetry)
             if use_edge
             else None
         )
         if detector == "universal":
-            universal = UniversalPreamble.build(self.modems, self.fs)
+            universal = UniversalPreamble.build(self.modems, self.sample_rate_hz)
             self.detector = UniversalPreambleDetector(
                 universal, telemetry=self.telemetry, **detector_kwargs
             )
         elif detector == "bank":
             self.detector = PreambleBankDetector(
-                self.modems, self.fs, telemetry=self.telemetry, **detector_kwargs
+                self.modems, self.sample_rate_hz, telemetry=self.telemetry, **detector_kwargs
             )
         elif detector == "energy":
             self.detector = EnergyDetector(
@@ -158,6 +167,17 @@ class GalioTGateway:
         else:
             raise ValueError(f"unknown detector {detector!r}")
 
+    @property
+    def fs(self) -> float:
+        """Deprecated alias for :attr:`sample_rate_hz`."""
+        warnings.warn(
+            "GalioTGateway.fs is deprecated; use .sample_rate_hz",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.sample_rate_hz
+
+    @iq_contract("capture")
     def capture_front_end(
         self, capture: np.ndarray, rng: np.random.Generator | None
     ) -> tuple[np.ndarray, int]:
@@ -192,7 +212,7 @@ class GalioTGateway:
         compressed, stats = self.codec.compress(segment)
         if self.backhaul is not None:
             try:
-                self.backhaul.ship(compressed.n_bits, segment.start / self.fs)
+                self.backhaul.ship(compressed.n_bits, segment.start / self.sample_rate_hz)
             except CapacityError:
                 report.dropped_segments += 1
                 self.telemetry.count("gateway.dropped_segments")
@@ -203,6 +223,7 @@ class GalioTGateway:
         self.telemetry.count("gateway.shipped_bits", compressed.n_bits)
         self.telemetry.gauge("gateway.last_compression_ratio", stats.ratio)
 
+    @iq_contract("capture")
     def process(
         self, capture: np.ndarray, rng: np.random.Generator | None = None
     ) -> GatewayReport:

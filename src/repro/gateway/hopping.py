@@ -23,6 +23,7 @@ import numpy as np
 
 from ..dsp.filters import fft_bandpass, frequency_shift
 from ..errors import ConfigurationError
+from ..types import DetectorLike
 
 __all__ = [
     "ChannelPlan",
@@ -73,7 +74,7 @@ class ChannelPlan:
     @classmethod
     def uniform(
         cls, wide_fs: float, channel_bw: float, n_channels: int
-    ) -> "ChannelPlan":
+    ) -> ChannelPlan:
         """Evenly spaced, non-overlapping channels centred in the band."""
         if n_channels < 1:
             raise ConfigurationError("n_channels must be >= 1")
@@ -186,7 +187,7 @@ class DwellResult:
 def run_hopping_campaign(
     wide_samples: np.ndarray,
     plan: ChannelPlan,
-    detector,
+    detector: DetectorLike,
     dwell_wide_samples: int,
     rng: np.random.Generator,
     scheduler: HopScheduler | None = None,

@@ -12,11 +12,13 @@ statistics.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..phy.base import Modem
 from ..types import DecodeResult
 
 __all__ = ["TechnologyStats", "OccupancyMonitor"]
@@ -60,7 +62,7 @@ class OccupancyMonitor:
         self._observed_s = 0.0
 
     @classmethod
-    def from_modems(cls, modems, typical_payload: int = 16) -> "OccupancyMonitor":
+    def from_modems(cls, modems: Iterable[Modem], typical_payload: int = 16) -> OccupancyMonitor:
         """Build the airtime lookup from live modems."""
         return cls(
             {

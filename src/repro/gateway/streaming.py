@@ -50,13 +50,14 @@ from __future__ import annotations
 
 from bisect import bisect_left, insort
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 import numpy as np
 
+from ..contracts import iq_contract
 from ..errors import ConfigurationError
 from ..telemetry import Telemetry
-from ..types import DetectionEvent, Segment
+from ..types import DetectionEvent, DetectorLike, Segment
 from .detection import EnergyDetector, PreambleBankDetector
 from .gateway import GalioTGateway, GatewayReport
 from .universal import UniversalPreambleDetector
@@ -64,7 +65,7 @@ from .universal import UniversalPreambleDetector
 __all__ = ["StreamingGateway", "detector_context", "iter_chunks"]
 
 
-def detector_context(detector) -> int:
+def detector_context(detector: DetectorLike) -> int:
     """Samples of history a detector needs to re-score a chunk boundary.
 
     For correlation detectors this is ``len(template) - 1``: carrying
@@ -82,6 +83,7 @@ def detector_context(detector) -> int:
     return 0
 
 
+@iq_contract("capture")
 def iter_chunks(capture: np.ndarray, chunk_size: int) -> Iterator[np.ndarray]:
     """Split an in-memory capture into consecutive chunks (for tests
     and demos; a real deployment feeds SDR buffers directly)."""
@@ -294,7 +296,9 @@ class StreamingGateway:
             if not flush.any():
                 continue
             for i, s in zip(
-                idx[flush & status].tolist(), sc[flush & status].tolist()
+                idx[flush & status].tolist(),
+                sc[flush & status].tolist(),
+                strict=True,
             ):
                 emitted.append(
                     DetectionEvent(
@@ -476,7 +480,7 @@ class StreamingGateway:
                 samples=self._buffer[
                     window.lo - self._buf_start : hi - self._buf_start
                 ].copy(),
-                sample_rate=self.gateway.fs,
+                sample_rate=self.gateway.sample_rate_hz,
                 detections=list(window.events),
             )
             report.segments.append(segment)

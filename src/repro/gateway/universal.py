@@ -27,6 +27,7 @@ from ..dsp.correlation import (
     find_peaks_above,
     normalized_correlation,
 )
+from ..contracts import iq_contract
 from ..dsp.resample import to_rate
 from ..errors import ConfigurationError
 from ..phy.base import Modem
@@ -60,14 +61,14 @@ class UniversalPreamble:
 
     Attributes:
         waveform: The summed, zero-padded template at the capture rate.
-        fs: Capture sample rate.
+        sample_rate_hz: Capture sample rate.
         groups: Coalescing result: list of lists of technology names;
             the first name of each group is the representative.
         representatives: Unit-energy representative waveform per group.
     """
 
     waveform: np.ndarray
-    fs: float
+    sample_rate_hz: float
     groups: list[list[str]]
     representatives: dict[str, np.ndarray] = field(default_factory=dict)
 
@@ -75,16 +76,16 @@ class UniversalPreamble:
     def build(
         cls,
         modems: list[Modem],
-        fs: float,
+        sample_rate_hz: float,
         coalesce_threshold: float = 0.5,
         max_len_s: float = 0.05,
-    ) -> "UniversalPreamble":
+    ) -> UniversalPreamble:
         """Construct the universal preamble for a set of technologies.
 
         Args:
             modems: Registered technologies (order matters only for
                 tie-breaking).
-            fs: Capture sample rate.
+            sample_rate_hz: Capture sample rate.
             coalesce_threshold: Peak sliding correlation above which two
                 preambles are considered "common" and merged.
             max_len_s: Cap on any representative's duration. The paper
@@ -100,10 +101,10 @@ class UniversalPreamble:
         """
         if not modems:
             raise ConfigurationError("at least one modem is required")
-        cap = max(int(max_len_s * fs), 1)
+        cap = max(int(max_len_s * sample_rate_hz), 1)
         templates = {
             m.name: _unit_energy(
-                to_rate(m.preamble_waveform(), m.sample_rate, fs)[:cap]
+                to_rate(m.preamble_waveform(), m.sample_rate, sample_rate_hz)[:cap]
             )
             for m in modems
         }
@@ -128,7 +129,7 @@ class UniversalPreamble:
             combined[: len(wave)] += wave
         return cls(
             waveform=combined,
-            fs=float(fs),
+            sample_rate_hz=float(sample_rate_hz),
             groups=groups,
             representatives=representatives,
         )
@@ -190,6 +191,7 @@ class UniversalPreambleDetector:
         self.threshold = threshold
         self.telemetry = telemetry
 
+    @iq_contract("samples")
     def calibrate(self, samples: np.ndarray) -> float:
         """Freeze the threshold from a calibration capture."""
         self.threshold = cfar_threshold(self.scores(samples), self.k)
@@ -200,10 +202,12 @@ class UniversalPreambleDetector:
         """Always one — the point of the universal preamble."""
         return 1
 
+    @iq_contract("samples")
     def scores(self, samples: np.ndarray) -> np.ndarray:
         """Matched-filter score track against the universal template."""
         return matched_filter_track(samples, self.universal.waveform, self.block)
 
+    @iq_contract("samples")
     def detect(self, samples: np.ndarray) -> list[DetectionEvent]:
         """Correlation peaks above the CFAR threshold."""
         self.telemetry.count("detect.samples_in", len(samples))
@@ -225,6 +229,7 @@ class UniversalPreambleDetector:
         self.telemetry.count("detect.events", len(events))
         return events
 
+    @iq_contract("samples")
     def stream_candidates(
         self, samples: np.ndarray
     ) -> list[tuple[str | None, int, np.ndarray, np.ndarray]]:

@@ -23,6 +23,7 @@ from pathlib import Path
 
 import numpy as np
 
+from .contracts import iq_contract
 from .errors import ConfigurationError
 from .types import PacketTruth, SceneTruth
 
@@ -72,7 +73,7 @@ class CaptureMeta:
         }
 
     @classmethod
-    def from_sigmf(cls, doc: dict) -> "CaptureMeta":
+    def from_sigmf(cls, doc: dict) -> CaptureMeta:
         """Parse the subset of SigMF this package writes."""
         glob = doc.get("global", {})
         captures = doc.get("captures", [{}])
@@ -87,18 +88,19 @@ class CaptureMeta:
         )
 
 
-def write_cfile(path, samples: np.ndarray) -> None:
+def write_cfile(path: str | Path, samples: np.ndarray) -> None:
     """Write interleaved complex64 (GNU Radio ``.cfile``)."""
     np.asarray(samples, dtype=np.complex64).tofile(str(path))
 
 
-def read_cfile(path) -> np.ndarray:
+def read_cfile(path: str | Path) -> np.ndarray:
     """Read interleaved complex64 into a complex128 array."""
     data = np.fromfile(str(path), dtype=np.complex64)
     return data.astype(np.complex128)
 
 
-def write_rtl_u8(path, samples: np.ndarray, full_scale: float | None = None) -> None:
+@iq_contract("samples")
+def write_rtl_u8(path: str | Path, samples: np.ndarray, full_scale: float | None = None) -> None:
     """Write rtl_sdr-style offset-uint8 interleaved I/Q.
 
     Args:
@@ -118,7 +120,7 @@ def write_rtl_u8(path, samples: np.ndarray, full_scale: float | None = None) -> 
     quant.astype(np.uint8).tofile(str(path))
 
 
-def read_rtl_u8(path) -> np.ndarray:
+def read_rtl_u8(path: str | Path) -> np.ndarray:
     """Read rtl_sdr offset-uint8 I/Q into complex samples in [-1, 1]."""
     raw = np.fromfile(str(path), dtype=np.uint8).astype(np.float64)
     if len(raw) % 2:
@@ -128,12 +130,12 @@ def read_rtl_u8(path) -> np.ndarray:
     return i + 1j * q
 
 
-def write_meta(path, meta: CaptureMeta) -> None:
+def write_meta(path: str | Path, meta: CaptureMeta) -> None:
     """Write the SigMF-flavoured sidecar JSON."""
     Path(path).write_text(json.dumps(meta.to_sigmf(), indent=2))
 
 
-def read_meta(path) -> CaptureMeta:
+def read_meta(path: str | Path) -> CaptureMeta:
     """Read a sidecar written by :func:`write_meta`."""
     return CaptureMeta.from_sigmf(json.loads(Path(path).read_text()))
 
@@ -155,8 +157,9 @@ def _truth_annotations(truth: SceneTruth) -> list[dict]:
     return out
 
 
+@iq_contract("samples")
 def save_scene(
-    basepath,
+    basepath: str | Path,
     samples: np.ndarray,
     truth: SceneTruth,
     carrier_hz: float = 868e6,
@@ -182,7 +185,7 @@ def save_scene(
     return data_path, meta_path
 
 
-def load_scene(basepath) -> tuple[np.ndarray, SceneTruth]:
+def load_scene(basepath: str | Path) -> tuple[np.ndarray, SceneTruth]:
     """Load a scene written by :func:`save_scene`.
 
     Raises:

@@ -20,9 +20,9 @@ def frame_airtime(modem: Modem, payload_len: int) -> float:
     return modem.frame_airtime(payload_len)
 
 
-def frame_samples_at(modem: Modem, payload_len: int, fs: float) -> int:
-    """Samples a frame occupies in a capture at rate ``fs``."""
-    return math.ceil(frame_airtime(modem, payload_len) * fs)
+def frame_samples_at(modem: Modem, payload_len: int, sample_rate_hz: float) -> int:
+    """Samples a frame occupies in a capture at rate ``sample_rate_hz``."""
+    return math.ceil(frame_airtime(modem, payload_len) * sample_rate_hz)
 
 
 def goodput_bits(payload_len: int) -> int:

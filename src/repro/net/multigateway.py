@@ -135,11 +135,11 @@ def combine_segments(
 
 
 def selection_diversity(
-    copies: list[GatewayCopy], modem: Modem, fs: float
+    copies: list[GatewayCopy], modem: Modem, sample_rate_hz: float
 ) -> FrameResult | None:
     """Baseline: first gateway copy that decodes on its own."""
     for copy in copies:
-        frame = try_decode(modem, copy.samples, fs)
+        frame = try_decode(modem, copy.samples, sample_rate_hz)
         if frame is not None:
             return frame
     return None

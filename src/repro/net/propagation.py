@@ -33,7 +33,7 @@ class Position:
     x: float
     y: float
 
-    def distance_to(self, other: "Position") -> float:
+    def distance_to(self, other: Position) -> float:
         """Euclidean distance in metres."""
         return math.hypot(self.x - other.x, self.y - other.y)
 

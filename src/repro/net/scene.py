@@ -14,6 +14,8 @@ convention documented in :mod:`repro.dsp.channel`.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from ..dsp.channel import add_at, scale_to_snr
@@ -33,23 +35,33 @@ class SceneBuilder:
     """Accumulates packets, then renders the capture + ground truth.
 
     Args:
-        fs: Capture sample rate (1 MHz in the paper's prototype).
+        sample_rate_hz: Capture sample rate (1 MHz in the paper's prototype).
         duration_s: Scene length in seconds.
         noise_power: Full-band AWGN power (linear).
     """
 
     def __init__(
-        self, fs: float, duration_s: float, noise_power: float = NOISE_POWER
+        self, sample_rate_hz: float, duration_s: float, noise_power: float = NOISE_POWER
     ):
-        if fs <= 0 or duration_s <= 0:
-            raise ConfigurationError("fs and duration_s must be positive")
+        if sample_rate_hz <= 0 or duration_s <= 0:
+            raise ConfigurationError("sample_rate_hz and duration_s must be positive")
         if noise_power < 0:
             raise ConfigurationError("noise_power must be >= 0")
-        self.fs = float(fs)
-        self.n_samples = int(round(duration_s * fs))
+        self.sample_rate_hz = float(sample_rate_hz)
+        self.n_samples = int(round(duration_s * sample_rate_hz))
         self.noise_power = float(noise_power)
         self._stream = np.zeros(self.n_samples, dtype=complex)
         self._packets: list[PacketTruth] = []
+
+    @property
+    def fs(self) -> float:
+        """Deprecated alias for :attr:`sample_rate_hz`."""
+        warnings.warn(
+            "SceneBuilder.fs is deprecated; use .sample_rate_hz",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.sample_rate_hz
 
     def add_packet(
         self,
@@ -98,15 +110,15 @@ class SceneBuilder:
         if fading not in (None, "rayleigh"):
             raise ConfigurationError(f"unknown fading model {fading!r}")
         wave = modem.modulate(payload)
-        wave = to_rate(wave, modem.sample_rate, self.fs)
+        wave = to_rate(wave, modem.sample_rate, self.sample_rate_hz)
         if cfo_hz:
-            wave = apply_cfo(wave, cfo_hz, self.fs)
+            wave = apply_cfo(wave, cfo_hz, self.sample_rate_hz)
         if random_phase:
             wave = apply_phase(wave, float(rng.uniform(0, 2 * np.pi)))
         if self.noise_power > 0:
-            ref_bw = modem.bandwidth if snr_mode == "inband" else self.fs
+            ref_bw = modem.bandwidth if snr_mode == "inband" else self.sample_rate_hz
             wave = scale_to_snr(
-                wave, snr_db, self.noise_power, min(ref_bw, self.fs), self.fs
+                wave, snr_db, self.noise_power, min(ref_bw, self.sample_rate_hz), self.sample_rate_hz
             )
         if fading == "rayleigh":
             # Unit-mean-square Rayleigh draw: |h|^2 ~ Exp(1), so the
@@ -133,7 +145,7 @@ class SceneBuilder:
             capture += rng.normal(scale=sigma, size=self.n_samples)
             capture += 1j * rng.normal(scale=sigma, size=self.n_samples)
         truth = SceneTruth(
-            sample_rate=self.fs,
+            sample_rate=self.sample_rate_hz,
             n_samples=self.n_samples,
             noise_power=self.noise_power,
             packets=list(self._packets),

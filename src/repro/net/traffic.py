@@ -26,7 +26,7 @@ __all__ = ["poisson_scene", "collision_scene"]
 
 def poisson_scene(
     devices: list[Device],
-    fs: float,
+    sample_rate_hz: float,
     duration_s: float,
     rng: np.random.Generator,
     noise_power: float = 1.0,
@@ -37,7 +37,7 @@ def poisson_scene(
 
     Args:
         devices: Transmitting devices (each with its own SNR and rate).
-        fs: Capture sample rate.
+        sample_rate_hz: Capture sample rate.
         duration_s: Scene length.
         rng: Random source.
         noise_power: Scene noise floor.
@@ -47,7 +47,7 @@ def poisson_scene(
     """
     if not devices:
         raise ConfigurationError("at least one device is required")
-    builder = SceneBuilder(fs, duration_s, noise_power)
+    builder = SceneBuilder(sample_rate_hz, duration_s, noise_power)
     for dev in devices:
         for t in dev.draw_arrivals(duration_s, rng):
             payload = dev.draw_payload(rng)
@@ -58,7 +58,7 @@ def poisson_scene(
             builder.add_packet(
                 dev.modem,
                 payload,
-                start=int(t * fs),
+                start=int(t * sample_rate_hz),
                 snr_db=dev.snr_db,
                 rng=rng,
                 device_id=dev.device_id,
@@ -70,7 +70,7 @@ def poisson_scene(
 def collision_scene(
     modems: list[Modem],
     snrs_db: list[float],
-    fs: float,
+    sample_rate_hz: float,
     rng: np.random.Generator,
     payload_len: int = 16,
     overlap: float = 1.0,
@@ -85,7 +85,7 @@ def collision_scene(
     Args:
         modems: Colliding technologies (2 or more).
         snrs_db: In-band SNR per packet (same length as ``modems``).
-        fs: Capture sample rate.
+        sample_rate_hz: Capture sample rate.
         rng: Random source (phases + payloads).
         payload_len: Payload size for every packet.
         overlap: 1.0 = all packets start together (complete overlap);
@@ -116,11 +116,11 @@ def collision_scene(
         if i + 1 < len(modems):
             t += airtimes[i] * (1.0 - overlap)
     duration = max(
-        s + a for s, a in zip(starts_s, airtimes)
+        s + a for s, a in zip(starts_s, airtimes, strict=True)
     ) + guard
-    builder = SceneBuilder(fs, duration, noise_power)
+    builder = SceneBuilder(sample_rate_hz, duration, noise_power)
     for dev_id, (modem, snr, start_s) in enumerate(
-        zip(modems, snrs_db, starts_s)
+        zip(modems, snrs_db, starts_s, strict=True)
     ):
         payload = rng.integers(0, 256, payload_len, dtype=np.uint8).tobytes()
         cfo = 0.0
@@ -130,7 +130,7 @@ def collision_scene(
         builder.add_packet(
             modem,
             payload,
-            start=int(start_s * fs),
+            start=int(start_s * sample_rate_hz),
             snr_db=snr,
             rng=rng,
             device_id=dev_id,

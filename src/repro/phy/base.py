@@ -52,7 +52,7 @@ class FrameResult:
     start: int
     sync_score: float = 0.0
     corrected_errors: int = 0
-    extra: dict = field(default_factory=dict)
+    extra: dict[str, object] = field(default_factory=dict)
 
 
 class Modem(abc.ABC):

@@ -124,6 +124,7 @@ class BleModem(Modem):
     # -- demodulation ------------------------------------------------------
 
     def demodulate(self, iq: np.ndarray) -> FrameResult:
+        iq = np.asarray(iq, dtype=np.complex128)
         start, score = sample_sync_strided(
             iq,
             self.sync_waveform(),

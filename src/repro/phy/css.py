@@ -10,7 +10,9 @@ the chirp bandwidth and decimated back to one sample per chip.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
+from ..contracts import iq_contract
 from ..dsp.chirp import base_downchirp, base_upchirp, lora_symbol
 from ..dsp.filters import fft_bandpass
 from ..errors import ConfigurationError
@@ -30,7 +32,7 @@ def symbol_count(sf: int) -> int:
     return 1 << sf
 
 
-def modulate_symbols(symbols, sf: int, oversample: int = 1) -> np.ndarray:
+def modulate_symbols(symbols: npt.ArrayLike, sf: int, oversample: int = 1) -> np.ndarray:
     """Concatenate the chirp waveforms of a symbol sequence."""
     arr = np.asarray(symbols, dtype=int).ravel()
     n = symbol_count(sf)
@@ -52,6 +54,7 @@ def _decimate_to_chip_rate(
     return filtered[::oversample]
 
 
+@iq_contract("iq")
 def dechirp(
     iq: np.ndarray, sf: int, oversample: int = 1, bw: float = 125e3, up: bool = True
 ) -> np.ndarray:
@@ -74,6 +77,7 @@ def dechirp(
     return chips * np.tile(ref, n_sym)
 
 
+@iq_contract("iq")
 def demodulate_symbols(
     iq: np.ndarray,
     n_symbols: int,

@@ -13,7 +13,9 @@ half-chip offset, each shaped by a half-sine pulse (MSK-equivalent).
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
+from ..contracts import iq_contract
 from ..dsp.filters import half_sine_pulse
 from ..errors import ConfigurationError
 from ..utils.bits import as_bit_array
@@ -54,7 +56,7 @@ IEEE154_CHIPS = np.array(
 )
 
 
-def bits_to_symbols(bits) -> np.ndarray:
+def bits_to_symbols(bits: npt.ArrayLike) -> np.ndarray:
     """Group a bit array into 4-bit symbols, LSB-first per 802.15.4.
 
     Raises:
@@ -69,7 +71,7 @@ def bits_to_symbols(bits) -> np.ndarray:
     ).astype(np.uint8)
 
 
-def symbols_to_bits(symbols) -> np.ndarray:
+def symbols_to_bits(symbols: npt.ArrayLike) -> np.ndarray:
     """Inverse of :func:`bits_to_symbols`."""
     arr = np.asarray(symbols, dtype=np.uint8).ravel()
     if arr.size and arr.max() > 15:
@@ -80,7 +82,7 @@ def symbols_to_bits(symbols) -> np.ndarray:
     return out
 
 
-def spread_symbols(symbols) -> np.ndarray:
+def spread_symbols(symbols: npt.ArrayLike) -> np.ndarray:
     """Concatenate the chip sequences of a symbol array."""
     arr = np.asarray(symbols, dtype=np.uint8).ravel()
     if arr.size and arr.max() > 15:
@@ -90,7 +92,7 @@ def spread_symbols(symbols) -> np.ndarray:
     return IEEE154_CHIPS[arr].ravel()
 
 
-def chips_to_oqpsk(chips, sps: int = 2) -> np.ndarray:
+def chips_to_oqpsk(chips: npt.ArrayLike, sps: int = 2) -> np.ndarray:
     """O-QPSK modulate a chip array with half-sine pulses.
 
     Even-index chips ride the I rail, odd-index chips the Q rail delayed
@@ -119,6 +121,7 @@ def chips_to_oqpsk(chips, sps: int = 2) -> np.ndarray:
     return wave[: n_pairs * 2 * sps + half] / max(rms, 1e-12)
 
 
+@iq_contract("iq")
 def oqpsk_to_chips(iq: np.ndarray, n_chips: int, sps: int = 2) -> np.ndarray:
     """Matched-filter chip decisions from an O-QPSK waveform.
 
@@ -144,7 +147,7 @@ def oqpsk_to_chips(iq: np.ndarray, n_chips: int, sps: int = 2) -> np.ndarray:
     return chips
 
 
-def despread_chips(chips) -> tuple[np.ndarray, np.ndarray]:
+def despread_chips(chips: npt.ArrayLike) -> tuple[np.ndarray, np.ndarray]:
     """Map hard chip decisions back to symbols by nearest chip sequence.
 
     Returns:

@@ -12,12 +12,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..contracts import iq_contract
 from ..dsp.correlation import normalized_correlation, segmented_correlation
 from ..errors import FrameSyncError
 
 __all__ = ["sample_sync", "best_sync_score"]
 
 
+@iq_contract("iq")
 def sample_sync(
     iq: np.ndarray,
     reference: np.ndarray,
@@ -59,6 +61,7 @@ def sample_sync(
     return best, score
 
 
+@iq_contract("iq")
 def sample_sync_strided(
     iq: np.ndarray,
     reference: np.ndarray,
@@ -88,6 +91,7 @@ def sample_sync_strided(
     return start * stride, score
 
 
+@iq_contract("iq")
 def best_sync_score(iq: np.ndarray, reference: np.ndarray) -> float:
     """Best normalized correlation of ``reference`` in ``iq`` (0 if too short).
 

@@ -13,7 +13,9 @@ by the caller (sample-domain preamble correlation).
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
+from ..contracts import iq_contract
 from ..dsp.filters import design_lowpass_fir, gaussian_pulse
 from ..dsp.fm import quadrature_demod
 from ..errors import ConfigurationError
@@ -23,10 +25,10 @@ __all__ = ["fsk_modulate", "fsk_demodulate_bits", "fsk_frequency_track"]
 
 
 def fsk_modulate(
-    bits,
+    bits: npt.ArrayLike,
     sps: int,
     deviation_hz: float,
-    fs: float,
+    sample_rate_hz: float,
     bt: float | None = None,
     span: int = 4,
 ) -> np.ndarray:
@@ -36,7 +38,7 @@ def fsk_modulate(
         bits: 0/1 array; bit 1 maps to ``+deviation_hz``.
         sps: Samples per bit.
         deviation_hz: Peak frequency deviation (half the tone spacing).
-        fs: Output sample rate.
+        sample_rate_hz: Output sample rate.
         bt: Gaussian bandwidth-time product; ``None`` means plain
             rectangular 2-FSK (Z-Wave style).
         span: Gaussian pulse span in bits (ignored for ``bt=None``).
@@ -47,20 +49,21 @@ def fsk_modulate(
     arr = as_bit_array(bits)
     if sps < 2:
         raise ConfigurationError("sps must be >= 2")
-    if deviation_hz <= 0 or deviation_hz >= fs / 2:
-        raise ConfigurationError("deviation must be in (0, fs/2)")
+    if deviation_hz <= 0 or deviation_hz >= sample_rate_hz / 2:
+        raise ConfigurationError("deviation must be in (0, sample_rate_hz/2)")
     nrz = 2.0 * arr.astype(float) - 1.0
     freq = np.repeat(nrz, sps)
     if bt is not None:
         pulse = gaussian_pulse(bt, sps, span)
         # 'same' keeps bit centers aligned with the unshaped waveform.
         freq = np.convolve(freq, pulse, mode="same")
-    phase = 2 * np.pi * deviation_hz / fs * np.cumsum(freq)
+    phase = 2 * np.pi * deviation_hz / sample_rate_hz * np.cumsum(freq)
     return np.exp(1j * phase)
 
 
+@iq_contract("iq")
 def fsk_frequency_track(
-    iq: np.ndarray, fs: float, sps: int, bandwidth_hz: float | None = None
+    iq: np.ndarray, sample_rate_hz: float, sps: int, bandwidth_hz: float | None = None
 ) -> np.ndarray:
     """Smoothed instantaneous-frequency track of an FSK signal in Hz.
 
@@ -74,11 +77,11 @@ def fsk_frequency_track(
     """
     if len(iq) < 2:
         return np.zeros(len(iq))
-    if bandwidth_hz is not None and bandwidth_hz < fs * 0.9:
-        cutoff = min(bandwidth_hz / 2, 0.45 * fs)
-        taps = design_lowpass_fir(129, cutoff, fs)
+    if bandwidth_hz is not None and bandwidth_hz < sample_rate_hz * 0.9:
+        cutoff = min(bandwidth_hz / 2, 0.45 * sample_rate_hz)
+        taps = design_lowpass_fir(129, cutoff, sample_rate_hz)
         iq = np.convolve(iq, taps, mode="same")
-    inst = quadrature_demod(iq, gain=fs / (2 * np.pi))
+    inst = quadrature_demod(iq, gain=sample_rate_hz / (2 * np.pi))
     kernel = np.ones(sps) / sps
     smooth = np.convolve(inst, kernel, mode="same")
     # quadrature_demod output n sits between samples n and n+1; prepend
@@ -86,12 +89,13 @@ def fsk_frequency_track(
     return np.concatenate(([smooth[0]], smooth))
 
 
+@iq_contract("iq")
 def fsk_demodulate_bits(
     iq: np.ndarray,
     start: int,
     n_bits: int,
     sps: int,
-    fs: float,
+    sample_rate_hz: float,
     threshold_hz: float = 0.0,
     bandwidth_hz: float | None = None,
 ) -> np.ndarray:
@@ -102,7 +106,7 @@ def fsk_demodulate_bits(
         start: Sample index of the first bit's leading edge.
         n_bits: Number of bits to recover.
         sps: Samples per bit.
-        fs: Sample rate.
+        sample_rate_hz: Sample rate.
         threshold_hz: Decision threshold; non-zero to compensate a known
             carrier offset.
         bandwidth_hz: Channel-select filter width (the signal's occupied
@@ -117,6 +121,6 @@ def fsk_demodulate_bits(
     needed = start + n_bits * sps
     if start < 0 or needed > len(iq):
         raise ConfigurationError("bit range exceeds the segment")
-    track = fsk_frequency_track(iq, fs, sps, bandwidth_hz)
+    track = fsk_frequency_track(iq, sample_rate_hz, sps, bandwidth_hz)
     centers = start + np.arange(n_bits) * sps + sps // 2
     return (track[centers] > threshold_hz).astype(np.uint8)

@@ -242,6 +242,7 @@ class LoRaModem(Modem):
         return best, score
 
     def demodulate(self, iq: np.ndarray) -> FrameResult:
+        iq = np.asarray(iq, dtype=np.complex128)
         start, score = self._coarse_sync(iq)
         cfo_hz = self._combined_offset_hz(iq, start)
         if abs(cfo_hz) > 1e-3:

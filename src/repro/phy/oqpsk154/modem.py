@@ -144,6 +144,7 @@ class OQpsk154Modem(Modem):
         return symbols, int(dists.sum())
 
     def demodulate(self, iq: np.ndarray) -> FrameResult:
+        iq = np.asarray(iq, dtype=np.complex128)
         start, score = sample_sync(iq, self.sync_waveform(), self._threshold)
         iq = self._derotate(iq, start)
         prefix_symbols = len(self._prefix_chips()) // _CHIPS_PER_SYMBOL

@@ -10,7 +10,9 @@ free-running RTL-SDR.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
+from ..contracts import iq_contract
 from ..errors import ConfigurationError
 from ..utils.bits import as_bit_array
 
@@ -24,7 +26,7 @@ __all__ = [
 ]
 
 
-def bpsk_modulate(bits, sps: int, smooth: bool = True) -> np.ndarray:
+def bpsk_modulate(bits: npt.ArrayLike, sps: int, smooth: bool = True) -> np.ndarray:
     """BPSK with rectangular (optionally edge-smoothed) pulses.
 
     Bit 1 maps to +1, bit 0 to -1. ``smooth`` applies a short raised
@@ -43,6 +45,7 @@ def bpsk_modulate(bits, sps: int, smooth: bool = True) -> np.ndarray:
     return wave
 
 
+@iq_contract("iq")
 def bpsk_demodulate_bits(
     iq: np.ndarray, start: int, n_bits: int, sps: int
 ) -> np.ndarray:
@@ -54,7 +57,7 @@ def bpsk_demodulate_bits(
     return (symbols.real > 0).astype(np.uint8)
 
 
-def dbpsk_encode(bits) -> np.ndarray:
+def dbpsk_encode(bits: npt.ArrayLike) -> np.ndarray:
     """Differential encoding: output flips when the input bit is 1.
 
     The first output symbol is the reference (equal to the first bit's
@@ -69,18 +72,19 @@ def dbpsk_encode(bits) -> np.ndarray:
     return out
 
 
-def dbpsk_decode(symbol_bits) -> np.ndarray:
+def dbpsk_decode(symbol_bits: npt.ArrayLike) -> np.ndarray:
     """Inverse of :func:`dbpsk_encode` (first symbol referenced to 0)."""
     arr = as_bit_array(symbol_bits)
     prev = np.concatenate(([0], arr[:-1]))
     return (arr ^ prev).astype(np.uint8)
 
 
-def dbpsk_modulate(bits, sps: int) -> np.ndarray:
+def dbpsk_modulate(bits: npt.ArrayLike, sps: int) -> np.ndarray:
     """Differentially-encoded BPSK waveform."""
     return bpsk_modulate(dbpsk_encode(bits), sps)
 
 
+@iq_contract("iq")
 def dbpsk_demodulate_bits(
     iq: np.ndarray, start: int, n_bits: int, sps: int
 ) -> np.ndarray:

@@ -16,7 +16,7 @@ rows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 from ..errors import UnknownTechnologyError
 from .base import Modem, ModulationClass

@@ -213,6 +213,7 @@ class ZWaveModem(Modem):
         return float(np.mean(track)) if len(track) else 0.0
 
     def demodulate(self, iq: np.ndarray) -> FrameResult:
+        iq = np.asarray(iq, dtype=np.complex128)
         start, score = sample_sync_strided(
             iq,
             self.sync_waveform(),

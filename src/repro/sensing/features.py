@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..contracts import iq_contract
 from ..dsp.resample import to_rate
 from ..errors import ConfigurationError
 from ..phy.base import FrameResult, Modem
@@ -44,9 +45,10 @@ class ChannelSnapshot:
     cfo_hz: float = 0.0
 
 
+@iq_contract("samples")
 def snapshot_from_frame(
     samples: np.ndarray,
-    fs: float,
+    sample_rate_hz: float,
     modem: Modem,
     frame: FrameResult,
     time_s: float = 0.0,
@@ -55,8 +57,8 @@ def snapshot_from_frame(
     """Estimate the channel a decoded frame travelled through.
 
     Args:
-        samples: The segment the frame was decoded from, at rate ``fs``.
-        fs: Segment sample rate.
+        samples: The segment the frame was decoded from, at rate ``sample_rate_hz``.
+        sample_rate_hz: Segment sample rate.
         modem: The frame's technology.
         frame: Decode result (payload + native-rate start).
         time_s: Timestamp recorded in the snapshot.
@@ -65,8 +67,8 @@ def snapshot_from_frame(
     Raises:
         ConfigurationError: when the frame extent is outside the segment.
     """
-    reference = to_rate(modem.modulate(frame.payload), modem.sample_rate, fs)
-    start = int(round(frame.start * fs / modem.sample_rate))
+    reference = to_rate(modem.modulate(frame.payload), modem.sample_rate, sample_rate_hz)
+    start = int(round(frame.start * sample_rate_hz / modem.sample_rate))
     stop = min(start + len(reference), len(samples))
     if stop - start < len(reference) // 2:
         raise ConfigurationError("frame extent not inside the segment")

@@ -74,7 +74,7 @@ class OccupancyDetector:
         """
         if any(
             b.time_s < a.time_s
-            for a, b in zip(snapshots, snapshots[1:])
+            for a, b in zip(snapshots, snapshots[1:], strict=False)
         ):
             raise ConfigurationError("snapshots must be time-ordered")
         events: list[OccupancyEvent] = []

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Any
 
 __all__ = [
     "TimerStats",
@@ -85,15 +86,15 @@ class Span:
 
     __slots__ = ("_stats", "_started")
 
-    def __init__(self, stats: TimerStats):
+    def __init__(self, stats: TimerStats) -> None:
         self._stats = stats
         self._started = 0.0
 
-    def __enter__(self) -> "Span":
+    def __enter__(self) -> Span:
         self._started = time.perf_counter()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self._stats.observe(time.perf_counter() - self._started)
 
 
@@ -102,10 +103,10 @@ class _NullSpan:
 
     __slots__ = ()
 
-    def __enter__(self) -> "_NullSpan":
+    def __enter__(self) -> _NullSpan:
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         return None
 
 
@@ -142,7 +143,7 @@ class Telemetry:
         """Record one duration into timer ``name`` without a span."""
         self._timer(name).observe(seconds)
 
-    def span(self, stage: str):
+    def span(self, stage: str) -> Span | _NullSpan:
         """Context manager timing one invocation of ``stage``.
 
         The timer is registered as ``"<stage>.seconds"``.
@@ -155,7 +156,7 @@ class Telemetry:
             stats = self.timers[name] = TimerStats()
         return stats
 
-    def snapshot(self) -> dict[str, dict]:
+    def snapshot(self) -> dict[str, dict[str, Any]]:
         """Point-in-time plain-dict view of every metric."""
         return {
             "counters": dict(self.counters),
@@ -191,10 +192,10 @@ class NullTelemetry(Telemetry):
     def observe(self, name: str, seconds: float) -> None:
         return None
 
-    def span(self, stage: str):
+    def span(self, stage: str) -> Span | _NullSpan:
         return _NULL_SPAN
 
-    def snapshot(self) -> dict[str, dict]:
+    def snapshot(self) -> dict[str, dict[str, Any]]:
         return {"counters": {}, "gauges": {}, "timers": {}}
 
 
@@ -202,7 +203,7 @@ NULL = NullTelemetry()
 """Shared no-op instance used as the default by every stage."""
 
 
-def format_snapshot(snapshot: dict[str, dict]) -> str:
+def format_snapshot(snapshot: dict[str, dict[str, Any]]) -> str:
     """Human-readable multi-line rendering of a :meth:`Telemetry.snapshot`.
 
     Timers are sorted by total time (the stage breakdown), counters and

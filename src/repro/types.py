@@ -8,12 +8,15 @@ without import cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Protocol
 
 import numpy as np
+import numpy.typing as npt
 
 __all__ = [
     "PacketTruth",
     "DetectionEvent",
+    "DetectorLike",
     "Segment",
     "DecodeResult",
     "SceneTruth",
@@ -48,7 +51,7 @@ class PacketTruth:
         """One past the last sample index of the packet."""
         return self.start + self.length
 
-    def overlaps(self, other: "PacketTruth") -> bool:
+    def overlaps(self, other: PacketTruth) -> bool:
         """Whether this packet overlaps ``other`` in time."""
         return self.start < other.end and other.start < self.end
 
@@ -72,6 +75,18 @@ class DetectionEvent:
     technology: str | None = None
 
 
+class DetectorLike(Protocol):
+    """Structural type for packet detectors.
+
+    Anything exposing ``detect(samples) -> list[DetectionEvent]`` (the
+    energy, preamble-bank and universal detectors all do) satisfies it.
+    """
+
+    def detect(
+        self, samples: npt.NDArray[np.complex128]
+    ) -> list[DetectionEvent]: ...
+
+
 @dataclass
 class Segment:
     """A slice of I/Q samples extracted around a detection.
@@ -80,7 +95,7 @@ class Segment:
     """
 
     start: int
-    samples: np.ndarray
+    samples: npt.NDArray[np.complex128]
     sample_rate: float
     detections: list[DetectionEvent] = field(default_factory=list)
 
@@ -140,7 +155,7 @@ class SceneTruth:
     def collisions(self) -> list[tuple[PacketTruth, PacketTruth]]:
         """All pairs of packets that overlap in time."""
         ordered = sorted(self.packets, key=lambda p: p.start)
-        pairs = []
+        pairs: list[tuple[PacketTruth, PacketTruth]] = []
         for i, first in enumerate(ordered):
             for second in ordered[i + 1 :]:
                 if second.start >= first.end:

@@ -10,6 +10,7 @@ first in others, while LoRa works on 4-bit nibbles.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 __all__ = [
     "bytes_to_bits",
@@ -22,7 +23,7 @@ __all__ = [
 ]
 
 
-def as_bit_array(bits) -> np.ndarray:
+def as_bit_array(bits: npt.ArrayLike) -> np.ndarray:
     """Coerce a sequence of 0/1 values into a uint8 bit array.
 
     Raises:
@@ -43,7 +44,7 @@ def bytes_to_bits(data: bytes, msb_first: bool = True) -> np.ndarray:
     return bits
 
 
-def bits_to_bytes(bits, msb_first: bool = True) -> bytes:
+def bits_to_bytes(bits: npt.ArrayLike, msb_first: bool = True) -> bytes:
     """Pack a 0/1 array into bytes. Length must be a multiple of 8.
 
     Raises:
@@ -74,7 +75,7 @@ def int_to_bits(value: int, width: int, msb_first: bool = True) -> np.ndarray:
     return bits
 
 
-def bits_to_int(bits, msb_first: bool = True) -> int:
+def bits_to_int(bits: npt.ArrayLike, msb_first: bool = True) -> int:
     """Interpret a bit array as an unsigned integer."""
     arr = as_bit_array(bits)
     if not msb_first:
@@ -94,7 +95,7 @@ def bytes_to_nibbles(data: bytes, high_first: bool = True) -> np.ndarray:
     return np.stack(pair, axis=1).ravel()
 
 
-def nibbles_to_bytes(nibbles, high_first: bool = True) -> bytes:
+def nibbles_to_bytes(nibbles: npt.ArrayLike, high_first: bool = True) -> bytes:
     """Join 4-bit nibbles (values 0..15) into bytes.
 
     Raises:

@@ -9,6 +9,7 @@ Both scalar and vectorized forms are provided.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 __all__ = ["gray_encode", "gray_decode", "gray_encode_array", "gray_decode_array"]
 
@@ -31,7 +32,7 @@ def gray_decode(code: int) -> int:
     return value
 
 
-def gray_encode_array(values) -> np.ndarray:
+def gray_encode_array(values: npt.ArrayLike) -> np.ndarray:
     """Vectorized :func:`gray_encode` over an integer array."""
     arr = np.asarray(values)
     if arr.size and int(arr.min()) < 0:
@@ -39,7 +40,7 @@ def gray_encode_array(values) -> np.ndarray:
     return arr ^ (arr >> 1)
 
 
-def gray_decode_array(codes) -> np.ndarray:
+def gray_decode_array(codes: npt.ArrayLike) -> np.ndarray:
     """Vectorized :func:`gray_decode` over an integer array."""
     arr = np.asarray(codes)
     if arr.size and int(arr.min()) < 0:

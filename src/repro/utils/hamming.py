@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from .bits import as_bit_array
 
@@ -99,7 +100,7 @@ class HammingCodec:
             bits = base + [overall]
         return np.array(bits, dtype=np.uint8)
 
-    def decode_codeword(self, codeword) -> DecodedNibble:
+    def decode_codeword(self, codeword: npt.ArrayLike) -> DecodedNibble:
         """Decode one codeword, correcting when the code allows it."""
         bits = as_bit_array(codeword)
         if bits.size != self.codeword_length:
@@ -135,14 +136,14 @@ class HammingCodec:
 
     # -- bulk helpers ----------------------------------------------------
 
-    def encode_nibbles(self, nibbles) -> np.ndarray:
+    def encode_nibbles(self, nibbles: npt.ArrayLike) -> np.ndarray:
         """Concatenate the codewords of a nibble sequence."""
         arr = np.asarray(nibbles, dtype=np.uint8).ravel()
         if arr.size == 0:
             return np.zeros(0, dtype=np.uint8)
         return np.concatenate([self.encode_nibble(int(n)) for n in arr])
 
-    def decode_bits(self, bits) -> tuple[np.ndarray, int, int]:
+    def decode_bits(self, bits: npt.ArrayLike) -> tuple[np.ndarray, int, int]:
         """Decode a concatenation of codewords.
 
         Returns:

@@ -18,6 +18,7 @@ Both classes expose exact inverses; the property tests assert
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 from .bits import as_bit_array
 
@@ -38,7 +39,7 @@ class BlockInterleaver:
         """Number of bits per interleaver block."""
         return self.n_rows * self.n_cols
 
-    def interleave(self, bits) -> np.ndarray:
+    def interleave(self, bits: npt.ArrayLike) -> np.ndarray:
         """Permute one or more blocks of bits."""
         arr = as_bit_array(bits)
         if arr.size % self.block_size:
@@ -48,7 +49,7 @@ class BlockInterleaver:
             out.append(block.reshape(self.n_rows, self.n_cols).T.ravel())
         return np.concatenate(out) if out else arr
 
-    def deinterleave(self, bits) -> np.ndarray:
+    def deinterleave(self, bits: npt.ArrayLike) -> np.ndarray:
         """Exact inverse of :meth:`interleave`."""
         arr = as_bit_array(bits)
         if arr.size % self.block_size:
@@ -84,7 +85,7 @@ class LoraDiagonalInterleaver:
         """Bits per interleaver block (``sf * (4 + cr)``)."""
         return self.sf * self.codeword_length
 
-    def interleave_block(self, codeword_bits) -> np.ndarray:
+    def interleave_block(self, codeword_bits: npt.ArrayLike) -> np.ndarray:
         """Interleave ``sf`` codewords into ``4 + cr`` symbol bit-rows.
 
         Args:
@@ -109,7 +110,7 @@ class LoraDiagonalInterleaver:
                 symbols[col, row] = cw[(row + col) % self.sf, col]
         return symbols.ravel()
 
-    def deinterleave_block(self, symbol_bits) -> np.ndarray:
+    def deinterleave_block(self, symbol_bits: npt.ArrayLike) -> np.ndarray:
         """Exact inverse of :meth:`interleave_block`."""
         arr = as_bit_array(symbol_bits)
         if arr.size != self.block_bits:
@@ -123,7 +124,7 @@ class LoraDiagonalInterleaver:
                 cw[(row + col) % self.sf, col] = symbols[col, row]
         return cw.ravel()
 
-    def interleave(self, bits) -> np.ndarray:
+    def interleave(self, bits: npt.ArrayLike) -> np.ndarray:
         """Interleave any whole number of blocks."""
         arr = as_bit_array(bits)
         if arr.size % self.block_bits:
@@ -131,7 +132,7 @@ class LoraDiagonalInterleaver:
         blocks = [self.interleave_block(b) for b in arr.reshape(-1, self.block_bits)]
         return np.concatenate(blocks) if blocks else arr
 
-    def deinterleave(self, bits) -> np.ndarray:
+    def deinterleave(self, bits: npt.ArrayLike) -> np.ndarray:
         """Inverse of :meth:`interleave`."""
         arr = as_bit_array(bits)
         if arr.size % self.block_bits:

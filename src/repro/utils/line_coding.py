@@ -13,13 +13,14 @@ quality.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 from .bits import as_bit_array
 
 __all__ = ["manchester_encode", "manchester_decode"]
 
 
-def manchester_encode(bits) -> np.ndarray:
+def manchester_encode(bits: npt.ArrayLike) -> np.ndarray:
     """Expand each bit into its two-half-bit Manchester symbol."""
     arr = as_bit_array(bits)
     out = np.empty(2 * arr.size, dtype=np.uint8)
@@ -28,7 +29,7 @@ def manchester_encode(bits) -> np.ndarray:
     return out
 
 
-def manchester_decode(half_bits) -> tuple[np.ndarray, int]:
+def manchester_decode(half_bits: npt.ArrayLike) -> tuple[np.ndarray, int]:
     """Collapse half-bit pairs back into bits.
 
     Returns:

@@ -17,6 +17,7 @@ Two generators are provided:
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 from .bits import as_bit_array
 
@@ -68,7 +69,7 @@ class LfsrWhitener:
             reg = (reg >> 1) | (feedback << (self._width - 1))
         return out
 
-    def whiten_bits(self, bits) -> np.ndarray:
+    def whiten_bits(self, bits: npt.ArrayLike) -> np.ndarray:
         """XOR ``bits`` with the keystream (involution)."""
         arr = as_bit_array(bits)
         return (arr ^ self.keystream(arr.size)).astype(np.uint8)

@@ -1,0 +1,40 @@
+"""galiot-lint — DSP-aware static analysis for the GalioT reproduction.
+
+A small AST-based linter encoding the repo's signal-plumbing contracts
+(the failure modes ruff/mypy cannot see): I/Q boundary guards, unit-
+suffixed parameter naming, dtype discipline in complex expressions,
+annotation coverage of the public API, telemetry-threading regressions
+and dataclass field hygiene.
+
+Run it as ``python -m galiot_lint src/`` (with ``tools/`` on
+``PYTHONPATH``), via the repo stub ``python tools/galiot-lint src/``,
+or through the main CLI as ``galiot lint src/``.
+
+Rules (see each rule class docstring, or ``--explain CODE``):
+
+========  =============================================================
+GL001     I/Q boundary function lacks a dtype guard
+GL002     ambiguous numeric parameter name (use unit suffixes)
+GL003     float32/float64 literal arithmetic in a complex expression
+GL004     public ``repro.*`` function missing type annotations
+GL005     stage constructs its own ``Telemetry`` registry
+GL006     bare/mutable ``dict``/``list`` annotation in a dataclass
+========  =============================================================
+"""
+
+from __future__ import annotations
+
+from .engine import Finding, lint_file, lint_paths, lint_source
+from .rules import ALL_RULES, Rule
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    "Finding",
+    "Rule",
+    "ALL_RULES",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+]

@@ -1,0 +1,101 @@
+"""Command-line front end: ``python -m galiot_lint [paths ...]``.
+
+Output matches ruff's ``path:line:col: CODE message`` lines so editor
+integrations and CI annotations work unchanged; the exit code is 1
+when findings exist, 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .engine import lint_paths, select_rules
+from .rules import ALL_RULES, rules_by_code
+
+
+def _split_codes(values: list[str]) -> list[str]:
+    out: list[str] = []
+    for value in values:
+        out.extend(c for c in value.split(",") if c.strip())
+    return out
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``galiot-lint`` argument parser (shared with ``galiot lint``)."""
+    parser = argparse.ArgumentParser(
+        prog="galiot-lint",
+        description=(
+            "DSP-aware static analysis for the GalioT reproduction "
+            "(rules GL001-GL006)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select", action="append", default=None, metavar="CODES",
+        help="comma-separated rule codes (or prefixes) to run",
+    )
+    parser.add_argument(
+        "--ignore", action="append", default=None, metavar="CODES",
+        help="comma-separated rule codes (or prefixes) to skip",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list rule codes with one-line summaries and exit",
+    )
+    parser.add_argument(
+        "--explain", metavar="CODE",
+        help="print a rule's full documentation and exit",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the trailing summary line",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            summary = (rule.__doc__ or "").strip().splitlines()[0]
+            print(f"{rule.code}  {rule.name:<28}  {summary}")
+        return 0
+
+    if args.explain:
+        rule = rules_by_code().get(args.explain.strip().upper())
+        if rule is None:
+            print(f"unknown rule code {args.explain!r}", file=sys.stderr)
+            return 2
+        print(rule.explain())
+        return 0
+
+    select = _split_codes(args.select) if args.select else None
+    ignore = _split_codes(args.ignore) if args.ignore else None
+    try:
+        select_rules(select, ignore)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    findings = lint_paths(args.paths, select=select, ignore=ignore)
+    for finding in findings:
+        print(finding.render())
+    if not args.quiet:
+        n = len(findings)
+        print(
+            f"Found {n} error{'s' if n != 1 else ''}."
+            if n
+            else "All checks passed!",
+            file=sys.stderr,
+        )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,160 @@
+"""Lint engine: file discovery, rule execution, noqa, filtering.
+
+The engine is deliberately simple: parse each file once, run every
+selected rule over the tree, suppress findings on lines carrying a
+``# noqa`` (optionally scoped, ruff-style: ``# noqa: GL001, GL004``)
+and return findings sorted for stable, diffable output.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from .rules import ALL_RULES, ModuleContext, Rule, rules_by_code
+
+__all__ = ["Finding", "lint_source", "lint_file", "lint_paths", "select_rules"]
+
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9,\s]+))?", re.IGNORECASE)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one location (ruff-compatible ordering)."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """Ruff-style ``path:line:col: CODE message`` line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def select_rules(
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Rule]:
+    """Instantiate the rule set after ``--select``/``--ignore`` filtering.
+
+    ``select`` keeps only the listed codes (prefix match, so ``GL`` or
+    ``GL00`` select families); ``ignore`` then removes codes the same
+    way. Unknown codes raise ``ValueError`` so typos fail loudly.
+    """
+    known = rules_by_code()
+
+    def _validate(codes: Iterable[str]) -> list[str]:
+        out = []
+        for code in codes:
+            code = code.strip().upper()
+            if not code:
+                continue
+            if not any(k.startswith(code) for k in known):
+                raise ValueError(f"unknown rule code {code!r}")
+            out.append(code)
+        return out
+
+    selected = list(known)
+    if select is not None:
+        wanted = _validate(select)
+        selected = [c for c in selected if any(c.startswith(w) for w in wanted)]
+    if ignore is not None:
+        unwanted = _validate(ignore)
+        selected = [
+            c for c in selected if not any(c.startswith(w) for w in unwanted)
+        ]
+    return [known[c]() for c in selected]
+
+
+def _noqa_codes(line: str) -> set[str] | None:
+    """Codes suppressed on ``line``: empty set = all, None = no noqa."""
+    match = _NOQA_RE.search(line)
+    if match is None:
+        return None
+    codes = match.group("codes")
+    if not codes:
+        return set()
+    return {c.strip().upper() for c in codes.split(",") if c.strip()}
+
+
+def lint_source(
+    source: str,
+    path: str | Path,
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Lint one module's source text; ``path`` is used for reporting."""
+    path = Path(path)
+    if rules is None:
+        rules = [rule() for rule in ALL_RULES]
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                code="GL900",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    parts = tuple(p for p in path.parts[:-1] if p not in (".", ".."))
+    context = ModuleContext(
+        path=path, module_name=path.stem, package_parts=parts
+    )
+    lines = source.splitlines()
+    findings = []
+    for rule in rules:
+        for line, col, message in rule.check(tree, context):
+            text = lines[line - 1] if 0 < line <= len(lines) else ""
+            suppressed = _noqa_codes(text)
+            if suppressed is not None and (
+                not suppressed or rule.code in suppressed
+            ):
+                continue
+            findings.append(
+                Finding(
+                    path=str(path),
+                    line=line,
+                    col=col,
+                    code=rule.code,
+                    message=message,
+                )
+            )
+    return sorted(findings)
+
+
+def lint_file(path: str | Path, rules: Sequence[Rule] | None = None) -> list[Finding]:
+    """Lint one file on disk."""
+    path = Path(path)
+    return lint_source(path.read_text(encoding="utf-8"), path, rules)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.update(p for p in path.rglob("*.py") if p.is_file())
+        else:
+            out.add(path)
+    return sorted(out)
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint files and directories; the main library entry point."""
+    rules = select_rules(select, ignore)
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, rules))
+    return sorted(findings)

@@ -1,0 +1,448 @@
+"""The GL00x rule set: each rule is one AST check with a docstring.
+
+Every rule yields ``(line, col, message)`` triples for one parsed
+module. Rules are deliberately *narrow* — they encode conventions
+specific to this repo's signal plumbing rather than general Python
+style (ruff owns that), so a finding is almost always a real contract
+gap rather than noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["ModuleContext", "Rule", "ALL_RULES", "rules_by_code"]
+
+#: Parameter names that, by repo convention, always carry I/Q or raw
+#: capture buffers across a subsystem boundary.
+IQ_PARAM_NAMES = frozenset({"iq", "samples", "capture"})
+
+#: Ambiguous numeric parameter names and their unit-suffixed fixes.
+AMBIGUOUS_PARAMS = {
+    "fs": "sample_rate_hz",
+    "rate": "rate_hz (or bit_rate_bps, sample_rate_hz, ...)",
+    "freq": "freq_hz",
+    "sr": "sample_rate_hz",
+    "dur": "duration_s",
+}
+
+#: Guard callables GL001 accepts as dtype normalization at a boundary.
+GUARD_CALLS = frozenset({"ensure_iq", "ensure_real"})
+GUARD_DECORATORS = frozenset({"iq_contract", "real_contract"})
+NORMALIZING_CALLS = frozenset({"asarray", "ascontiguousarray", "array"})
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """Where the module being linted lives (scoping for GL005 etc.)."""
+
+    path: Path
+    module_name: str
+    package_parts: tuple[str, ...]
+
+
+class Rule:
+    """Base class: one code, one check over a parsed module."""
+
+    code: str = "GL000"
+    name: str = "base-rule"
+
+    def check(
+        self, tree: ast.Module, context: ModuleContext
+    ) -> Iterator[tuple[int, int, str]]:
+        raise NotImplementedError
+
+    @classmethod
+    def explain(cls) -> str:
+        """Full rule documentation (the class docstring)."""
+        return cls.__doc__ or "(undocumented)"
+
+
+# ---------------------------------------------------------------------------
+# shared AST helpers
+
+
+def _decorator_name(node: ast.expr) -> str:
+    """Terminal name of a decorator expression (unwrapping calls)."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _call_name(node: ast.Call) -> str:
+    """Terminal name of a call's callee."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def _is_private(name: str) -> bool:
+    """Underscore-prefixed but not a dunder (``__init__`` is public API)."""
+    return name.startswith("_") and not (
+        name.startswith("__") and name.endswith("__")
+    )
+
+
+def _iter_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[FunctionNode, ast.ClassDef | None]]:
+    """Module-level and class-level function defs (not nested closures)."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, None
+        elif isinstance(node, ast.ClassDef):
+            for member in node.body:
+                if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield member, node
+
+
+def _is_stub_body(func: FunctionNode) -> bool:
+    """True for abstract/docstring-only bodies with nothing to guard."""
+    body = list(func.body)
+    if body and isinstance(body[0], ast.Expr) and isinstance(
+        body[0].value, ast.Constant
+    ):
+        body = body[1:]  # drop the docstring
+    if not body:
+        return True
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Raise)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue
+        return False
+    return True
+
+
+def _all_args(func: FunctionNode) -> list[ast.arg]:
+    """Positional-only, positional and keyword-only args, in order."""
+    a = func.args
+    return [*a.posonlyargs, *a.args, *a.kwonlyargs]
+
+
+def _is_method(parent: ast.ClassDef | None, func: FunctionNode) -> bool:
+    if parent is None:
+        return False
+    return not any(
+        _decorator_name(d) == "staticmethod" for d in func.decorator_list
+    )
+
+
+def _name_mentions_iq(name: str) -> bool:
+    return name in IQ_PARAM_NAMES or "iq" in name.split("_")
+
+
+def _subtree_mentions_iq(node: ast.AST) -> bool:
+    return any(
+        isinstance(n, ast.Name) and _name_mentions_iq(n.id)
+        for n in ast.walk(node)
+    )
+
+
+def _is_float_narrowing_call(node: ast.AST) -> bool:
+    """``np.float32(...)`` / ``np.float64(...)`` (or bare name) calls."""
+    return (
+        isinstance(node, ast.Call)
+        and _call_name(node) in {"float32", "float64"}
+    )
+
+
+# ---------------------------------------------------------------------------
+# rules
+
+
+class IqBoundaryGuard(Rule):
+    """GL001: an I/Q boundary function lacks a dtype guard.
+
+    A public function whose signature takes raw signal buffers (a
+    parameter named ``iq``, ``samples`` or ``capture``) is a subsystem
+    boundary: whatever dtype the caller hands over propagates silently
+    through every downstream numpy expression. Such functions must
+    either normalize the buffer on entry — ``np.asarray(x, dtype=...)``
+    / ``repro.contracts.ensure_iq`` — or carry an
+    ``@iq_contract`` / ``@real_contract`` decorator so the sanitize
+    modes can validate the buffer where it *enters*.
+
+    Abstract/stub bodies (interface definitions) are exempt.
+    """
+
+    code = "GL001"
+    name = "iq-boundary-guard"
+
+    def check(
+        self, tree: ast.Module, context: ModuleContext
+    ) -> Iterator[tuple[int, int, str]]:
+        for func, _parent in _iter_functions(tree):
+            if _is_private(func.name):
+                continue
+            hit = [a for a in _all_args(func) if a.arg in IQ_PARAM_NAMES]
+            if not hit or _is_stub_body(func):
+                continue
+            decorators = {_decorator_name(d) for d in func.decorator_list}
+            if decorators & (GUARD_DECORATORS | {"abstractmethod", "overload"}):
+                continue
+            if self._body_has_guard(func):
+                continue
+            names = ", ".join(repr(a.arg) for a in hit)
+            yield (
+                func.lineno,
+                func.col_offset,
+                f"{func.name}() takes I/Q buffer(s) {names} without a "
+                "dtype guard: add @iq_contract/@real_contract or "
+                "normalize via np.asarray(..., dtype=...)/ensure_iq()",
+            )
+
+    @staticmethod
+    def _body_has_guard(func: FunctionNode) -> bool:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name in GUARD_CALLS:
+                return True
+            if name in NORMALIZING_CALLS and any(
+                kw.arg == "dtype" for kw in node.keywords
+            ):
+                return True
+        return False
+
+
+class AmbiguousUnitParam(Rule):
+    """GL002: numeric parameter named without its unit.
+
+    ``fs``, ``rate``, ``freq`` say nothing about Hz vs. samples vs.
+    bits/s — the classic source of silent unit mixups in SDR code. The
+    repo convention is unit-suffixed names: ``sample_rate_hz``,
+    ``duration_s``, ``offset_samples``. Public signatures must follow
+    it; keep a deprecated keyword alias when renaming an established
+    API.
+    """
+
+    code = "GL002"
+    name = "ambiguous-unit-param"
+
+    def check(
+        self, tree: ast.Module, context: ModuleContext
+    ) -> Iterator[tuple[int, int, str]]:
+        for func, _parent in _iter_functions(tree):
+            if _is_private(func.name):
+                continue
+            for arg in _all_args(func):
+                suggestion = AMBIGUOUS_PARAMS.get(arg.arg)
+                if suggestion is not None:
+                    yield (
+                        arg.lineno,
+                        arg.col_offset,
+                        f"parameter {arg.arg!r} of {func.name}() is "
+                        f"ambiguous: use a unit-suffixed name "
+                        f"(e.g. {suggestion})",
+                    )
+
+
+class FloatLiteralInIqExpr(Rule):
+    """GL003: float32/float64 narrowing mixed into an I/Q expression.
+
+    ``np.float32(x) * iq`` (or ``np.float64(iq)``) silently truncates
+    the imaginary rail or forces a dtype round-trip in the middle of a
+    complex pipeline. Scale factors belong in Python floats (numpy
+    promotes them correctly) or explicit ``complex64/complex128``
+    casts.
+    """
+
+    code = "GL003"
+    name = "float-literal-in-iq-expr"
+
+    def check(
+        self, tree: ast.Module, context: ModuleContext
+    ) -> Iterator[tuple[int, int, str]]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.BinOp):
+                pairs = ((node.left, node.right), (node.right, node.left))
+                for cast_side, other in pairs:
+                    if _is_float_narrowing_call(cast_side) and (
+                        _subtree_mentions_iq(other)
+                    ):
+                        yield (
+                            node.lineno,
+                            node.col_offset,
+                            "float32/float64 literal arithmetic in a "
+                            "complex I/Q expression: use a plain float "
+                            "or an explicit complex cast",
+                        )
+                        break
+            elif _is_float_narrowing_call(node):
+                assert isinstance(node, ast.Call)
+                if any(_subtree_mentions_iq(a) for a in node.args):
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        "casting an I/Q buffer to float32/float64 drops "
+                        "the imaginary rail: use np.complex64/complex128 "
+                        "or take .real explicitly",
+                    )
+
+
+class PublicMissingAnnotations(Rule):
+    """GL004: public function missing type annotations.
+
+    Every public function and method in ``repro.*`` must annotate all
+    parameters and its return type — the annotations are what make the
+    I/Q plumbing auditable (and what mypy checks on the strict
+    modules). ``self``/``cls``, ``*args``/``**kwargs`` and dunder
+    return types are exempt.
+    """
+
+    code = "GL004"
+    name = "public-missing-annotations"
+
+    def check(
+        self, tree: ast.Module, context: ModuleContext
+    ) -> Iterator[tuple[int, int, str]]:
+        for func, parent in _iter_functions(tree):
+            if _is_private(func.name):
+                continue
+            args = _all_args(func)
+            if _is_method(parent, func) and args:
+                args = args[1:]  # self / cls
+            for arg in args:
+                if arg.annotation is None:
+                    yield (
+                        arg.lineno,
+                        arg.col_offset,
+                        f"parameter {arg.arg!r} of public "
+                        f"{func.name}() lacks a type annotation",
+                    )
+            is_dunder = func.name.startswith("__") and func.name.endswith("__")
+            if func.returns is None and not is_dunder:
+                yield (
+                    func.lineno,
+                    func.col_offset,
+                    f"public {func.name}() lacks a return type annotation",
+                )
+
+
+class PrivateTelemetryRegistry(Rule):
+    """GL005: pipeline stage constructs its own ``Telemetry`` registry.
+
+    Telemetry must be *threaded*: every instrumented stage accepts a
+    registry parameter defaulting to the shared no-op ``NULL`` so one
+    gateway-level registry observes the whole pipeline (the PR 1
+    regression this rule guards). A stage calling ``Telemetry()``
+    itself silently forks the metrics. Composition roots (``cli``,
+    ``experiments``) and tests are exempt.
+    """
+
+    code = "GL005"
+    name = "private-telemetry-registry"
+
+    _ALLOWED_MODULES = frozenset({"cli", "telemetry", "conftest"})
+    _ALLOWED_PACKAGES = frozenset({"experiments", "tests", "benchmarks"})
+
+    def check(
+        self, tree: ast.Module, context: ModuleContext
+    ) -> Iterator[tuple[int, int, str]]:
+        if context.module_name in self._ALLOWED_MODULES:
+            return
+        if set(context.package_parts) & self._ALLOWED_PACKAGES:
+            return
+        if context.module_name.startswith("test_"):
+            return
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call) and _call_name(node) == "Telemetry":
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "stage constructs its own Telemetry() registry: "
+                    "accept `telemetry: Telemetry = NULL` and let the "
+                    "composition root thread one registry through",
+                )
+
+
+class DataclassBareMutable(Rule):
+    """GL006: bare or mutable ``dict``/``list`` annotation in a dataclass.
+
+    ``extra: dict`` hides the value schema from mypy and every reader;
+    annotate the content (``dict[str, object]`` at minimum). Mutable
+    literals as defaults (including via ``field(default=[])``) alias
+    one object across instances.
+    """
+
+    code = "GL006"
+    name = "dataclass-bare-mutable"
+
+    _BARE = frozenset({"dict", "list", "set", "Dict", "List", "Set"})
+
+    def check(
+        self, tree: ast.Module, context: ModuleContext
+    ) -> Iterator[tuple[int, int, str]]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not any(
+                _decorator_name(d) == "dataclass" for d in node.decorator_list
+            ):
+                continue
+            for stmt in node.body:
+                if not isinstance(stmt, ast.AnnAssign):
+                    continue
+                yield from self._check_field(node, stmt)
+
+    def _check_field(
+        self, cls: ast.ClassDef, stmt: ast.AnnAssign
+    ) -> Iterator[tuple[int, int, str]]:
+        ann = stmt.annotation
+        if isinstance(ann, ast.Name) and ann.id in self._BARE:
+            yield (
+                ann.lineno,
+                ann.col_offset,
+                f"dataclass {cls.name} field annotated bare "
+                f"{ann.id!r}: annotate the contents "
+                f"(e.g. {ann.id.lower()}[str, object])",
+            )
+        value = stmt.value
+        if isinstance(value, (ast.List, ast.Dict, ast.Set)):
+            yield (
+                value.lineno,
+                value.col_offset,
+                f"dataclass {cls.name} field uses a mutable literal "
+                "default: use field(default_factory=...)",
+            )
+        elif isinstance(value, ast.Call) and _call_name(value) == "field":
+            for kw in value.keywords:
+                if kw.arg == "default" and isinstance(
+                    kw.value, (ast.List, ast.Dict, ast.Set)
+                ):
+                    yield (
+                        kw.value.lineno,
+                        kw.value.col_offset,
+                        f"dataclass {cls.name} field(default=...) holds a "
+                        "mutable literal: use default_factory",
+                    )
+
+
+ALL_RULES: tuple[type[Rule], ...] = (
+    IqBoundaryGuard,
+    AmbiguousUnitParam,
+    FloatLiteralInIqExpr,
+    PublicMissingAnnotations,
+    PrivateTelemetryRegistry,
+    DataclassBareMutable,
+)
+
+
+def rules_by_code() -> dict[str, type[Rule]]:
+    """Mapping ``"GL001" -> rule class`` for selection and ``--explain``."""
+    return {rule.code: rule for rule in ALL_RULES}
