@@ -6,7 +6,11 @@ Two families of subcommands:
   ``galiot fig3b --trials 5`` …) printing its table;
 * ``galiot stream`` — run the chunked :class:`~repro.gateway.streaming.
   StreamingGateway` over a synthetic scene with live telemetry and print
-  the per-chunk progress plus the end-to-end stage breakdown.
+  the per-chunk progress plus the end-to-end stage breakdown;
+* ``galiot cloud --workers N`` — stream a collision-heavy scene through
+  the gateway and fan the shipped segments out over the
+  :class:`~repro.cloud.parallel.ParallelCloudService` decode farm
+  (``--workers 0`` decodes serially for comparison).
 """
 
 from __future__ import annotations
@@ -120,6 +124,80 @@ def _run_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_cloud(args: argparse.Namespace) -> int:
+    """Gateway -> cloud farm demo: shipped segments decoded in parallel."""
+    import time
+
+    from .cloud import CloudService, ParallelCloudService
+    from .gateway import GalioTGateway, StreamingGateway, iter_chunks
+    from .net.scene import SceneBuilder
+    from .phy import create_modem
+
+    fs = 1e6
+    rng = np.random.default_rng(args.seed)
+    modems = [create_modem(n) for n in ("lora", "xbee", "zwave")]
+    builder = SceneBuilder(fs, args.duration)
+    n_samples = int(args.duration * fs)
+    for i in range(args.packets):
+        modem = modems[i % len(modems)]
+        # Every other packet lands on top of its predecessor, so the
+        # farm sees a realistic mix of clean and collided segments.
+        slot = (i // 2 * 2 + 0.5) * n_samples / args.packets
+        start = int(slot) + (i % 2) * 400
+        builder.add_packet(
+            modem, f"cloud-{i}".encode(), start, args.snr, rng,
+            snr_mode="capture",
+        )
+    capture, truth = builder.render(rng)
+
+    telemetry = Telemetry()
+    gateway = GalioTGateway(
+        modems, fs, use_edge=False, telemetry=telemetry
+    )
+    noise = (
+        rng.normal(size=200_000) + 1j * rng.normal(size=200_000)
+    ) * np.sqrt(truth.noise_power / 2)
+    gateway.detector.calibrate(noise)
+
+    if args.workers < 1:
+        service = CloudService(modems, fs, telemetry=telemetry)
+        stream = StreamingGateway(gateway)
+        label = "serial"
+    else:
+        service = ParallelCloudService(
+            modems, fs, workers=args.workers, telemetry=telemetry,
+            executor=args.executor,
+        )
+        stream = StreamingGateway(gateway, on_shipped=service.submit)
+        label = f"{args.workers} workers ({args.executor})"
+
+    results = []
+    t0 = time.perf_counter()
+    for report in stream.run(iter_chunks(capture, args.chunk)):
+        if args.workers < 1:
+            for segment in report.shipped:
+                results.extend(service.process_segment(segment))
+    if args.workers >= 1:
+        results = service.drain()
+        service.close()
+    elapsed = time.perf_counter() - t0
+
+    stats = service.stats
+    rate = stats.segments / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"cloud [{label}]: {stats.segments} segments, "
+        f"{stats.frames_decoded} frames decoded in {elapsed:.2f} s "
+        f"({rate:.2f} segments/s)"
+    )
+    print(f"  by method: {stats.by_method}")
+    print(f"  by technology: {stats.by_technology}")
+    for r in results:
+        print(f"  {r.technology:>6s} @ {r.start:>9d} via {r.method}: {r.payload!r}")
+    print()
+    print(format_snapshot(telemetry.snapshot()))
+    return 0
+
+
 def _run_lint(args: argparse.Namespace) -> int:
     """Run the repo's DSP-aware linter (``tools/galiot_lint``)."""
     try:
@@ -208,6 +286,38 @@ def main(argv: list[str] | None = None) -> int:
         "--seed", type=int, default=0xC0FFEE, help="scene RNG seed"
     )
     stream.set_defaults(func=_run_stream)
+    cloud = sub.add_parser(
+        "cloud",
+        help="stream a scene into the parallel cloud decode farm",
+    )
+    cloud.add_argument(
+        "--workers", type=int, default=2,
+        help="decode farm size; 0 = serial CloudService (default: 2)",
+    )
+    cloud.add_argument(
+        "--executor", choices=["process", "thread"], default="process",
+        help="worker pool flavour (default: process)",
+    )
+    cloud.add_argument(
+        "--chunk", type=_positive_int, default=262_144,
+        help="streaming chunk size in samples (default: 262144)",
+    )
+    cloud.add_argument(
+        "--duration", type=float, default=1.0,
+        help="scene duration in seconds (default: 1.0)",
+    )
+    cloud.add_argument(
+        "--packets", type=_positive_int, default=6,
+        help="packets placed in the scene, pairwise-collided (default: 6)",
+    )
+    cloud.add_argument(
+        "--snr", type=float, default=12.0,
+        help="per-packet capture SNR in dB (default: 12)",
+    )
+    cloud.add_argument(
+        "--seed", type=int, default=0xC0FFEE, help="scene RNG seed"
+    )
+    cloud.set_defaults(func=_run_cloud)
     lint = sub.add_parser(
         "lint",
         help="run the DSP-aware static-analysis pass (galiot-lint)",

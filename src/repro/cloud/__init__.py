@@ -4,6 +4,7 @@ from .classify import ClassifiedSignal, SegmentClassifier
 from .decoder import CloudDecodeReport, CloudDecoder
 from .dispatch import Assignment, ComputeNode, Dispatcher, SlaPolicy
 from .kill_filters import KillCodes, KillCss, KillFrequency, kill_filter_for
+from .parallel import ParallelCloudService
 from .pipeline import CloudService, CloudStats
 from .sic import ReconstructionReport, reconstruct_and_subtract, try_decode
 
@@ -22,6 +23,7 @@ __all__ = [
     "kill_filter_for",
     "CloudService",
     "CloudStats",
+    "ParallelCloudService",
     "ReconstructionReport",
     "reconstruct_and_subtract",
     "try_decode",

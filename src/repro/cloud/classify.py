@@ -16,7 +16,7 @@ import numpy as np
 
 from ..contracts import iq_contract
 from ..dsp.correlation import find_peaks_above
-from ..dsp.resample import to_rate
+from ..dsp.resample import NativeRateCache, to_rate
 from ..errors import ConfigurationError
 from ..gateway.detection import cfar_threshold, matched_filter_track
 from ..phy.base import Modem
@@ -34,12 +34,17 @@ class ClassifiedSignal:
         score: Matched-filter detection score.
         amplitude: LS complex amplitude of the sync waveform at ``start``
             (its magnitude squared is the power Algorithm 1 sorts by).
+        center_hz: Estimated carrier offset of the transmission relative
+            to baseband (Hz). The frequency-selective kill filter
+            notches around this estimate so a channel-offset victim is
+            removed where it actually sits.
     """
 
     technology: str
     start: int
     score: float
     amplitude: complex
+    center_hz: float = 0.0
 
     @property
     def power(self) -> float:
@@ -90,12 +95,46 @@ class SegmentClassifier:
             ref_energy = float(np.sum(np.abs(ref) ** 2))
             self._refs.append((modem, ref, tpl, stride, block, ref_energy))
 
+    @staticmethod
+    def _estimate_center(window: np.ndarray, sample_rate_hz: float) -> float:
+        """Power-weighted spectral centroid of ``window`` (Hz).
+
+        Channel-scale accuracy (a few kHz of bias from modulation
+        asymmetry), which is the scale that matters: the consumer is the
+        frequency-selective kill filter, whose notches span the victim's
+        tone bandwidth. A phase-slope estimate against the sync
+        reference would be finer but collapses when the correlation
+        peak snaps to the wrong period of a periodic preamble; the
+        centroid is indifferent to alignment.
+        """
+        if len(window) < 2:
+            return 0.0
+        spectrum = np.abs(np.fft.fft(window)) ** 2
+        total = float(spectrum.sum())
+        if total <= 0:
+            return 0.0
+        freqs = np.fft.fftfreq(len(window), 1.0 / sample_rate_hz)
+        return float(np.sum(spectrum * freqs) / total)
+
     @iq_contract("samples")
-    def classify(self, samples: np.ndarray) -> list[ClassifiedSignal]:
-        """Rank the transmissions present in ``samples`` by power."""
+    def classify(
+        self, samples: np.ndarray, rates: NativeRateCache | None = None
+    ) -> list[ClassifiedSignal]:
+        """Rank the transmissions present in ``samples`` by power.
+
+        Args:
+            samples: The segment (or working residual) to classify.
+            rates: Optional memoized native-rate views of ``samples``
+                (must wrap the same buffer). Algorithm 1 passes one so
+                repeated classify/decode/kill calls in a single
+                iteration resample the residual once per distinct rate.
+        """
         found: list[ClassifiedSignal] = []
         for modem, ref, tpl, stride, block, ref_energy in self._refs:
-            native = to_rate(samples, self.sample_rate_hz, modem.sample_rate)
+            if rates is not None:
+                native = rates.view(modem.sample_rate)
+            else:
+                native = to_rate(samples, self.sample_rate_hz, modem.sample_rate)
             if len(ref) > len(native):
                 continue
             # Spread-spectrum references correlate at a stride (the
@@ -120,6 +159,9 @@ class SegmentClassifier:
                         start=start,
                         score=float(track[idx]),
                         amplitude=amplitude,
+                        center_hz=self._estimate_center(
+                            window, modem.sample_rate
+                        ),
                     )
                 )
         return sorted(found, key=lambda c: c.power, reverse=True)

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..contracts import iq_contract
-from ..dsp.resample import to_rate
+from ..dsp.resample import NativeRateCache, to_rate
 from ..errors import ConfigurationError
 from ..phy.base import Modem
 from ..telemetry import NULL, Telemetry
@@ -112,15 +112,22 @@ class CloudDecoder:
     # -- internals --------------------------------------------------------
 
     def _kill(
-        self, samples: np.ndarray, victim: ClassifiedSignal
+        self,
+        rates: NativeRateCache,
+        victim: ClassifiedSignal,
     ) -> np.ndarray | None:
-        """Apply the victim's kill filter at its native rate."""
+        """Apply the victim's kill filter at its native rate.
+
+        Reads the working buffer through the shared native-rate view
+        cache (every kill filter copies before mutating, so the cached
+        view survives for the next victim).
+        """
         modem = self.modems[victim.technology]
         try:
             kill = kill_filter_for(modem)
         except ConfigurationError:
             return None
-        native = to_rate(samples, self.sample_rate_hz, modem.sample_rate)
+        native = rates.view(modem.sample_rate)
         filtered = kill.apply(native, modem.sample_rate, victim)
         return to_rate(filtered, modem.sample_rate, self.sample_rate_hz)
 
@@ -155,7 +162,10 @@ class CloudDecoder:
         return a.technology == technology and abs(a.start - frame_start) < 256
 
     def _open_candidates(
-        self, working: np.ndarray, report: CloudDecodeReport, failed: list
+        self,
+        rates: NativeRateCache,
+        report: CloudDecodeReport,
+        failed: list,
     ) -> tuple[list[ClassifiedSignal], list[ClassifiedSignal]]:
         """Re-classify the residual signal.
 
@@ -166,7 +176,7 @@ class CloudDecoder:
             imperfect SIC cancellation (CFO, clock drift) leaves residue
             that an estimation-free kill filter can still remove.
         """
-        fresh = self.classifier.classify(working)
+        fresh = self.classifier.classify(rates.samples, rates=rates)
         targets: list[ClassifiedSignal] = []
         residuals: list[ClassifiedSignal] = []
         for cand in fresh:
@@ -199,8 +209,13 @@ class CloudDecoder:
 
     def _decode(self, samples: np.ndarray) -> CloudDecodeReport:
         report = CloudDecodeReport()
-        report.candidates = self.classifier.classify(samples)
         working = np.asarray(samples, dtype=complex).copy()
+        # One native-rate view cache per working buffer: every classify,
+        # decode and kill attempt in an iteration shares the same
+        # resampled views (rebuilt only when a cancellation replaces the
+        # buffer), so the residual hits each modem's rate once.
+        rates = NativeRateCache(working, self.sample_rate_hz)
+        report.candidates = self.classifier.classify(working, rates=rates)
         failed: list[ClassifiedSignal] = []
         open_candidates = list(report.candidates)
         residuals: list[ClassifiedSignal] = []
@@ -210,7 +225,9 @@ class CloudDecoder:
             open_candidates.sort(key=lambda c: c.power, reverse=True)
             strongest = open_candidates[0]
             modem = self.modems[strongest.technology]
-            frame = try_decode(modem, working, self.sample_rate_hz)
+            frame = try_decode(
+                modem, working, self.sample_rate_hz, rates=rates
+            )
             if frame is not None and not any(
                 self._same_frame(r, frame.start, strongest.technology)
                 for r in report.results
@@ -218,10 +235,11 @@ class CloudDecoder:
                 working = self._record(
                     report, working, strongest, frame, method="sic"
                 )
+                rates = NativeRateCache(working, self.sample_rate_hz)
                 # Algorithm 1 line 6: cancel and *repeat* — the residual
                 # may now reveal transmissions the collision masked.
                 open_candidates, residuals = self._open_candidates(
-                    working, report, failed
+                    rates, report, failed
                 )
                 continue
             if frame is not None:
@@ -261,7 +279,7 @@ class CloudDecoder:
                     is not modem.modulation
                 ]
                 for victim in victims:
-                    filtered = self._kill(working, victim)
+                    filtered = self._kill(rates, victim)
                     if filtered is None:
                         continue
                     report.kill_invocations += 1
@@ -285,8 +303,9 @@ class CloudDecoder:
                         working = self._record(
                             report, working, strongest, frame, method=kill_name
                         )
+                        rates = NativeRateCache(working, self.sample_rate_hz)
                         open_candidates, residuals = self._open_candidates(
-                            working, report, failed
+                            rates, report, failed
                         )
                         recovered = True
                         break

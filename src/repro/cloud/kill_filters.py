@@ -87,8 +87,16 @@ class KillFrequency:
     def apply(
         self, samples: np.ndarray, sample_rate_hz: float, target: ClassifiedSignal | None = None
     ) -> np.ndarray:
-        """Notch the target's tone bands out of ``samples``."""
-        return fft_notch(samples, sample_rate_hz, self.bands())
+        """Notch the target's tone bands out of ``samples``.
+
+        The notches are centred on ``target.center_hz`` (the
+        classifier's carrier-offset estimate), so a victim sitting off
+        baseband — a neighbouring channel, a large CFO — is removed
+        where it actually is. With no target the baseband assumption
+        applies.
+        """
+        center_hz = float(target.center_hz) if target is not None else 0.0
+        return fft_notch(samples, sample_rate_hz, self.bands(center_hz))
 
 
 class KillCss:

@@ -1,0 +1,220 @@
+"""The parallel cloud decode farm: ``repro.cloud.parallel``.
+
+The paper's cloud absorbs every detected segment from every gateway, and
+Algorithm 1's cost is superlinear in collision depth — so the cloud
+side, not the Pi-class front end, is the throughput bottleneck of a
+deployment. :class:`ParallelCloudService` fans decompressed segments out
+over a ``concurrent.futures`` pool while keeping the three properties
+the serial :class:`~repro.cloud.pipeline.CloudService` guarantees:
+
+* **Determinism.** Results are merged in *submission* order, never
+  completion order, so a parallel run is result-identical to the serial
+  service over the same segments (segments are independent by
+  construction: each is decoded from its own sample buffer).
+* **Aggregated stats.** Every worker reports a per-segment
+  :class:`~repro.cloud.pipeline.CloudStats` delta; the parent folds them
+  with :meth:`CloudStats.merge`, so the totals equal a serial run's.
+* **Telemetry rollup.** Workers record into their own sinks; the parent
+  absorbs each per-segment snapshot
+  (:meth:`~repro.telemetry.Telemetry.absorb_snapshot`) in submission
+  order — counters and span counts match the serial pipeline's exactly,
+  wall-clock totals reflect the actual per-worker time spent.
+
+Worker state (one :class:`CloudService` per worker, built once by the
+pool initializer) lives in a ``threading.local``: a process-pool worker
+runs tasks on its single main thread and a thread-pool worker is a
+thread, so the same initializer serves both executors.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import (
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import ConfigurationError
+from ..gateway.compression import CompressedSegment, SegmentCodec
+from ..phy.base import Modem
+from ..telemetry import NULL, Telemetry
+from ..types import DecodeResult, Segment
+from .pipeline import CloudService, CloudStats
+
+__all__ = ["ParallelCloudService"]
+
+
+@dataclass(frozen=True)
+class _WorkerConfig:
+    """Everything a worker needs to rebuild the serial service."""
+
+    modems: tuple[Modem, ...]
+    sample_rate_hz: float
+    use_kill_filters: bool
+    strict_order: bool
+    codec: SegmentCodec | None
+
+
+_worker = threading.local()
+
+
+def _init_worker(config: _WorkerConfig) -> None:
+    """Pool initializer: build one serial service per worker."""
+    # A worker *is* a composition root: it lives in another process (or
+    # thread) and its private sink is snapshotted back to the parent
+    # after every segment, which is the rollup GL005 wants.
+    telemetry = Telemetry()  # noqa: GL005
+    service = CloudService(
+        list(config.modems),
+        config.sample_rate_hz,
+        use_kill_filters=config.use_kill_filters,
+        strict_order=config.strict_order,
+        codec=config.codec,
+        telemetry=telemetry,
+    )
+    # The codec crossed a pickle boundary, so identity checks against
+    # the NULL singleton no longer apply — rewire it explicitly.
+    service.codec.telemetry = telemetry
+    _worker.service = service
+    _worker.telemetry = telemetry
+
+
+_WorkerResult = tuple[list[DecodeResult], CloudStats, dict[str, dict[str, Any]]]
+
+
+def _run_one(segment: Segment | CompressedSegment) -> _WorkerResult:
+    """Decode one segment in a worker; return (results, stats, telemetry)."""
+    service: CloudService = _worker.service
+    telemetry: Telemetry = _worker.telemetry
+    service.stats = CloudStats()
+    telemetry.reset()
+    if isinstance(segment, CompressedSegment):
+        results = service.process_compressed(segment)
+    else:
+        results = service.process_segment(segment)
+    return results, service.stats, telemetry.snapshot()
+
+
+class ParallelCloudService:
+    """Fan segments out over a worker pool; merge in submission order.
+
+    Drop-in for the serial service at the workload level: ``submit()``
+    segments (or compressed wire blobs) as they arrive — e.g. from the
+    streaming gateway's ``on_shipped`` hook — then ``drain()`` for the
+    merged results. :meth:`process_segments` wraps both for batch use.
+
+    Args:
+        modems: Registered technologies (pickled to process workers).
+        sample_rate_hz: Capture sample rate of arriving segments.
+        workers: Pool size.
+        use_kill_filters: False runs the SIC-only baseline.
+        strict_order: Classic-SIC decode order (see ``CloudDecoder``).
+        codec: Wire codec for compressed segments.
+        telemetry: Parent sink receiving the per-worker rollups.
+        executor: ``"process"`` (default — real parallelism for the
+            CPU-bound decode) or ``"thread"`` (cheaper startup, shared
+            memory; useful for tests and I/O-bound deployments).
+    """
+
+    def __init__(
+        self,
+        modems: list[Modem],
+        sample_rate_hz: float,
+        workers: int = 2,
+        use_kill_filters: bool = True,
+        strict_order: bool = False,
+        codec: SegmentCodec | None = None,
+        telemetry: Telemetry = NULL,
+        executor: str = "process",
+    ):
+        if not modems:
+            raise ConfigurationError("at least one modem is required")
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if executor not in ("process", "thread"):
+            raise ConfigurationError(
+                f"executor must be 'process' or 'thread', got {executor!r}"
+            )
+        self.telemetry = telemetry
+        self.workers = int(workers)
+        self.executor_kind = executor
+        self.stats = CloudStats()
+        config = _WorkerConfig(
+            modems=tuple(modems),
+            sample_rate_hz=float(sample_rate_hz),
+            use_kill_filters=bool(use_kill_filters),
+            strict_order=bool(strict_order),
+            codec=codec,
+        )
+        pool_cls = (
+            ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
+        )
+        self._pool = pool_cls(
+            max_workers=self.workers,
+            initializer=_init_worker,
+            initargs=(config,),
+        )
+        self._pending: list[Future[_WorkerResult]] = []
+
+    # -- submission -------------------------------------------------------
+
+    def submit(self, segment: Segment) -> None:
+        """Queue one decompressed segment for decoding."""
+        self._pending.append(self._pool.submit(_run_one, segment))
+        self.telemetry.count("cloud.parallel.submitted")
+
+    def submit_compressed(self, compressed: CompressedSegment) -> None:
+        """Queue one wire blob; the worker decompresses it (so codec
+        telemetry lands in the worker sink, exactly as in a serial run)."""
+        self._pending.append(self._pool.submit(_run_one, compressed))
+        self.telemetry.count("cloud.parallel.submitted")
+
+    # -- collection -------------------------------------------------------
+
+    def drain(self) -> list[DecodeResult]:
+        """Wait for every outstanding segment; merge in submission order.
+
+        Returns the concatenated decode results. Stats and telemetry
+        rollups happen here, also in submission order, so repeated runs
+        over the same segments produce identical aggregates regardless
+        of worker scheduling.
+        """
+        pending, self._pending = self._pending, []
+        merged: list[DecodeResult] = []
+        with self.telemetry.span("cloud.parallel.drain"):
+            for future in pending:
+                results, stats, snapshot = future.result()
+                merged.extend(results)
+                self.stats.merge(stats)
+                self.telemetry.absorb_snapshot(snapshot)
+        self.telemetry.count("cloud.parallel.drained", len(pending))
+        return merged
+
+    def process_segments(self, segments: list[Segment]) -> list[DecodeResult]:
+        """Batch convenience: submit every segment, then drain."""
+        for segment in segments:
+            self.submit(segment)
+        return self.drain()
+
+    def process_compressed_batch(
+        self, blobs: list[CompressedSegment]
+    ) -> list[DecodeResult]:
+        """Batch convenience for wire blobs."""
+        for blob in blobs:
+            self.submit_compressed(blob)
+        return self.drain()
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the pool down (outstanding work completes first)."""
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> ParallelCloudService:
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

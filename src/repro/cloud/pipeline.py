@@ -43,6 +43,23 @@ class CloudStats:
                 self.by_technology.get(result.technology, 0) + 1
             )
 
+    def merge(self, other: CloudStats) -> None:
+        """Fold another stats block into this one (worker rollup).
+
+        Merging the per-segment stats of any partition of a workload, in
+        any order, yields the same totals as processing it serially.
+        """
+        self.segments += other.segments
+        self.frames_decoded += other.frames_decoded
+        self.kill_invocations += other.kill_invocations
+        self.sic_cancellations += other.sic_cancellations
+        for method, n in other.by_method.items():
+            self.by_method[method] = self.by_method.get(method, 0) + n
+        for technology, n in other.by_technology.items():
+            self.by_technology[technology] = (
+                self.by_technology.get(technology, 0) + n
+            )
+
 
 class CloudService:
     """Stateful cloud endpoint consuming shipped segments.
@@ -83,7 +100,13 @@ class CloudService:
         with self.telemetry.span("cloud.pipeline"):
             report = self.decoder.decode(segment.samples)
         self.stats.absorb(report)
-        # Re-base frame starts onto capture-time sample indices.
+        # Re-base frame starts onto capture-time sample indices. The
+        # decoder reports starts in the *decoding modem's native-rate*
+        # samples, so each must be converted to the capture rate before
+        # the segment offset (capture-rate samples) is added — adding
+        # them raw misplaces every frame of a modem whose native rate
+        # differs from the capture rate.
+        capture_rate = self.decoder.sample_rate_hz
         return [
             DecodeResult(
                 technology=r.technology,
@@ -91,7 +114,14 @@ class CloudService:
                 ok=r.ok,
                 method=r.method,
                 power_db=r.power_db,
-                start=r.start + segment.start,
+                start=segment.start
+                + int(
+                    round(
+                        r.start
+                        * capture_rate
+                        / self.decoder.modems[r.technology].sample_rate
+                    )
+                ),
             )
             for r in report.results
         ]

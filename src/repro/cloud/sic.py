@@ -19,7 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..contracts import iq_contract
-from ..dsp.resample import to_rate
+from ..dsp.resample import NativeRateCache, to_rate
 from ..errors import ReproError
 from ..phy.base import FrameResult, Modem
 
@@ -41,14 +41,24 @@ class ReconstructionReport:
 
 
 @iq_contract("samples")
-def try_decode(modem: Modem, samples: np.ndarray, sample_rate_hz: float) -> FrameResult | None:
+def try_decode(
+    modem: Modem,
+    samples: np.ndarray,
+    sample_rate_hz: float,
+    rates: NativeRateCache | None = None,
+) -> FrameResult | None:
     """Attempt a plain decode of ``modem`` on ``samples`` at rate ``sample_rate_hz``.
 
     Returns ``None`` instead of raising when sync or decoding fails or
     the checksum is bad — Algorithm 1 treats all three identically.
+    ``rates``, when given, must wrap ``samples`` and supplies the
+    memoized native-rate view instead of resampling again.
     """
     try:
-        native = to_rate(samples, sample_rate_hz, modem.sample_rate)
+        if rates is not None:
+            native = rates.view(modem.sample_rate)
+        else:
+            native = to_rate(samples, sample_rate_hz, modem.sample_rate)
         frame = modem.demodulate(native)
     except ReproError:
         return None
@@ -92,7 +102,11 @@ def reconstruct_and_subtract(
             continue
         window = samples[cand : cand + len(probe)]
         metric = 0.0
-        for pos in range(0, len(probe) - block + 1, block):
+        # Score full blocks plus the remainder: a probe shorter than one
+        # block would otherwise score 0.0 for every candidate and the
+        # search would silently snap to ``start - 16``, smearing short
+        # frames instead of cancelling them.
+        for pos in range(0, len(probe), block):
             metric += abs(np.vdot(probe[pos : pos + block], window[pos : pos + block]))
         if metric > best_metric:
             best_metric = metric

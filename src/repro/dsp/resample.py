@@ -3,13 +3,31 @@
 Modems run at their native oversampling of the symbol rate; the scene
 composer and the cloud decoders move signals between a modem's native
 rate and the gateway capture rate (1 MHz) with these helpers.
+
+Two caches keep the cloud's hot path from repeating work:
+
+* a process-wide **resample-plan cache** (:func:`resample_plan`)
+  memoizing the reduced polyphase ratio and the designed anti-alias FIR
+  per ``(fs_in, fs_out)`` pair, so :func:`to_rate` skips the
+  ``Fraction`` reduction and ``firwin`` design that otherwise run on
+  every call;
+* a per-buffer **native-rate view cache** (:class:`NativeRateCache`)
+  memoizing read-only resampled views of one working buffer, so one
+  Algorithm-1 iteration resamples the residual to each modem's native
+  rate once instead of once per classify/decode/kill call.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any
+
 import numpy as np
+import numpy.typing as npt
 from scipy import signal as sp_signal
 
+from ..contracts import ensure_iq
 from ..errors import ConfigurationError
 
 __all__ = [
@@ -18,6 +36,12 @@ __all__ = [
     "resample_rational",
     "fractional_delay",
     "to_rate",
+    "ResamplePlan",
+    "resample_plan",
+    "resample_plan_cache_info",
+    "clear_resample_plan_cache",
+    "set_resample_plan_cache",
+    "NativeRateCache",
 ]
 
 
@@ -46,22 +70,61 @@ def resample_rational(x: np.ndarray, up: int, down: int) -> np.ndarray:
     return sp_signal.resample_poly(x, up, down)
 
 
-def to_rate(x: np.ndarray, fs_in: float, fs_out: float) -> np.ndarray:
-    """Resample ``x`` from ``fs_in`` to ``fs_out`` (rational polyphase).
+@dataclass(frozen=True)
+class ResamplePlan:
+    """A memoized polyphase resampling recipe for one rate pair.
 
-    The rate ratio is reduced to a small rational; rates must be
-    commensurate to within 1e-9 relative error.
-
-    Raises:
-        ConfigurationError: if the ratio cannot be expressed as a
-            rational with denominator <= 1e6.
+    Attributes:
+        up: Interpolation factor (already reduced by the gcd).
+        down: Decimation factor.
+        window: The anti-alias FIR coefficients ``resample_poly`` would
+            design for this ratio (``None`` for the identity plan) —
+            unscaled, exactly as ``firwin`` returns them; ``resample_poly``
+            applies its own ``up`` gain.
     """
-    if fs_in <= 0 or fs_out <= 0:
-        raise ConfigurationError("sample rates must be positive")
-    if abs(fs_in - fs_out) < 1e-9 * fs_in:
-        return x.copy()
+
+    up: int
+    down: int
+    window: np.ndarray | None
+
+    @property
+    def identity(self) -> bool:
+        """True when the plan is a pure copy (``up == down``)."""
+        return self.up == self.down
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Resample ``x`` by this plan (always returns a new array)."""
+        if self.identity:
+            return x.copy()
+        window = self.window
+        if window is not None and np.issubdtype(x.dtype, np.inexact):
+            # Mirror resample_poly's own dtype cast of the designed
+            # filter so cached and uncached outputs match bit for bit.
+            window = window.astype(x.dtype)
+        return sp_signal.resample_poly(x, self.up, self.down, window=window)
+
+
+def _design_window(up: int, down: int) -> np.ndarray:
+    """The FIR ``resample_poly`` designs for ``up/down`` (unscaled)."""
+    max_rate = max(up, down)
+    half_len = 10 * max_rate
+    window = sp_signal.firwin(
+        2 * half_len + 1, 1.0 / max_rate, window=("kaiser", 5.0)
+    )
+    window.flags.writeable = False
+    return window
+
+
+@lru_cache(maxsize=256)
+def _cached_plan(fs_in: float, fs_out: float) -> ResamplePlan:
+    return _build_plan(fs_in, fs_out)
+
+
+def _build_plan(fs_in: float, fs_out: float) -> ResamplePlan:
     from fractions import Fraction
 
+    if abs(fs_in - fs_out) < 1e-9 * fs_in:
+        return ResamplePlan(up=1, down=1, window=None)
     ratio = Fraction(fs_out / fs_in).limit_denominator(1_000_000)
     if ratio.numerator == 0:
         raise ConfigurationError("rate ratio too extreme to resample")
@@ -70,7 +133,109 @@ def to_rate(x: np.ndarray, fs_in: float, fs_out: float) -> np.ndarray:
         raise ConfigurationError(
             f"rates {fs_in} -> {fs_out} are not commensurate"
         )
-    return sp_signal.resample_poly(x, ratio.numerator, ratio.denominator)
+    up, down = ratio.numerator, ratio.denominator
+    return ResamplePlan(up=up, down=down, window=_design_window(up, down))
+
+
+_PLAN_CACHE_ENABLED = True
+
+
+def set_resample_plan_cache(enabled: bool) -> bool:
+    """Enable/disable the plan cache (benchmark A/B); returns the old
+    setting. Disabled, :func:`to_rate` re-derives the ratio and lets
+    ``resample_poly`` design its filter on every call."""
+    global _PLAN_CACHE_ENABLED
+    previous = _PLAN_CACHE_ENABLED
+    _PLAN_CACHE_ENABLED = bool(enabled)
+    return previous
+
+
+def resample_plan(fs_in: float, fs_out: float) -> ResamplePlan:
+    """The memoized plan converting ``fs_in`` to ``fs_out``.
+
+    Raises:
+        ConfigurationError: if the rates are invalid or incommensurate
+            (denominator above 1e6).
+    """
+    if fs_in <= 0 or fs_out <= 0:
+        raise ConfigurationError("sample rates must be positive")
+    if _PLAN_CACHE_ENABLED:
+        return _cached_plan(float(fs_in), float(fs_out))
+    return _build_plan(float(fs_in), float(fs_out))
+
+
+def resample_plan_cache_info() -> Any:
+    """``functools.lru_cache`` statistics of the plan cache (a
+    ``CacheInfo`` named tuple: hits, misses, maxsize, currsize)."""
+    return _cached_plan.cache_info()
+
+
+def clear_resample_plan_cache() -> None:
+    """Drop every memoized plan (tests, benchmarks)."""
+    _cached_plan.cache_clear()
+
+
+def to_rate(x: np.ndarray, fs_in: float, fs_out: float) -> np.ndarray:
+    """Resample ``x`` from ``fs_in`` to ``fs_out`` (rational polyphase).
+
+    The rate ratio is reduced to a small rational; rates must be
+    commensurate to within 1e-9 relative error. The reduced ratio and
+    the anti-alias filter design are memoized per rate pair (see
+    :func:`resample_plan`), so repeated conversions between the same
+    rates skip straight to the polyphase convolution.
+
+    Raises:
+        ConfigurationError: if the ratio cannot be expressed as a
+            rational with denominator <= 1e6.
+    """
+    if fs_in <= 0 or fs_out <= 0:
+        raise ConfigurationError("sample rates must be positive")
+    if not _PLAN_CACHE_ENABLED:
+        # Reference path: identical maths, nothing memoized.
+        if abs(fs_in - fs_out) < 1e-9 * fs_in:
+            return x.copy()
+        plan = _build_plan(float(fs_in), float(fs_out))
+        return sp_signal.resample_poly(x, plan.up, plan.down)
+    return resample_plan(fs_in, fs_out).apply(x)
+
+
+class NativeRateCache:
+    """Memoized read-only resampled views of one working buffer.
+
+    Algorithm 1 re-classifies the residual after every cancellation, and
+    each classify pass (plus each decode and kill attempt) needs the
+    working buffer at some modem's native rate. One cache instance wraps
+    one immutable snapshot of the buffer; :meth:`view` resamples at most
+    once per distinct output rate. Views are marked non-writeable —
+    callers needing to mutate must copy.
+
+    Build a fresh cache whenever the working buffer changes (SIC
+    subtraction replaces it rather than mutating in place, so staleness
+    is impossible by construction).
+    """
+
+    def __init__(
+        self, samples: npt.NDArray[np.complex128], sample_rate_hz: float
+    ) -> None:
+        self.samples = ensure_iq(samples)
+        self.sample_rate_hz = float(sample_rate_hz)
+        self._views: dict[float, np.ndarray] = {}
+
+    def view(self, fs_out: float) -> np.ndarray:
+        """``samples`` resampled to ``fs_out`` (cached, read-only)."""
+        key = float(fs_out)
+        cached = self._views.get(key)
+        if cached is None:
+            if abs(key - self.sample_rate_hz) < 1e-9 * self.sample_rate_hz:
+                cached = self.samples.view()
+            else:
+                cached = to_rate(self.samples, self.sample_rate_hz, key)
+            cached.flags.writeable = False
+            self._views[key] = cached
+        return cached
+
+    def __len__(self) -> int:
+        return len(self.samples)
 
 
 def fractional_delay(x: np.ndarray, delay: float) -> np.ndarray:

@@ -50,7 +50,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, insort
 from dataclasses import dataclass, field
-from collections.abc import Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 
 import numpy as np
 
@@ -127,15 +127,24 @@ class StreamingGateway:
             code path below the chunking layer.
         telemetry: Metrics sink for stream-level metrics; defaults to
             the gateway's own sink.
+        on_shipped: Cloud dispatch hook, called with each segment that
+            survives edge filtering and the backhaul (in stream order,
+            from the chunk that completed it). Wire it to a cloud
+            service — e.g. ``ParallelCloudService.submit`` — to fan
+            decoding out while the stream is still arriving.
     """
 
     def __init__(
-        self, gateway: GalioTGateway, telemetry: Telemetry | None = None
+        self,
+        gateway: GalioTGateway,
+        telemetry: Telemetry | None = None,
+        on_shipped: Callable[[Segment], None] | None = None,
     ):
         self.gateway = gateway
         self.telemetry = (
             telemetry if telemetry is not None else gateway.telemetry
         )
+        self.on_shipped = on_shipped
         self.context = detector_context(gateway.detector)
         self.min_distance = int(getattr(gateway.detector, "min_distance", 0))
         self.reset()
@@ -484,7 +493,10 @@ class StreamingGateway:
                 detections=list(window.events),
             )
             report.segments.append(segment)
+            shipped_before = len(report.shipped)
             self.gateway.ship_segment(segment, report)
+            if self.on_shipped is not None and len(report.shipped) > shipped_before:
+                self.on_shipped(segment)
             self.telemetry.count("stream.segments")
 
     # -- buffer management ------------------------------------------------

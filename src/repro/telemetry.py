@@ -65,6 +65,17 @@ class TimerStats:
         """Mean span duration (0.0 before any observation)."""
         return self.total_s / self.count if self.count else 0.0
 
+    def merge(self, other: TimerStats) -> None:
+        """Fold another timer's aggregate into this one (worker rollup)."""
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total_s += other.total_s
+        if other.min_s < self.min_s:
+            self.min_s = other.min_s
+        if other.max_s > self.max_s:
+            self.max_s = other.max_s
+
     def as_dict(self) -> dict[str, float]:
         """Plain-dict view used by :meth:`Telemetry.snapshot`."""
         return {
@@ -164,6 +175,30 @@ class Telemetry:
             "timers": {name: t.as_dict() for name, t in self.timers.items()},
         }
 
+    def absorb_snapshot(self, snapshot: dict[str, dict[str, Any]]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The rollup half of the parallel decode farm: workers record into
+        their own sinks and the parent merges the snapshots — counters
+        and timer histograms add, gauges take the incoming value (last
+        write wins, in merge order). Merging every worker's snapshot
+        yields the same counters (and timer counts) as running the whole
+        workload against one sink.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.count(name, float(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name, float(value))
+        for name, stats in snapshot.get("timers", {}).items():
+            count = int(stats["count"])
+            incoming = TimerStats(
+                count=count,
+                total_s=float(stats["total_s"]),
+                min_s=float(stats["min_s"]) if count else float("inf"),
+                max_s=float(stats["max_s"]),
+            )
+            self._timer(name).merge(incoming)
+
     def reset(self) -> None:
         """Drop every metric (tests, between experiment repeats)."""
         self.counters.clear()
@@ -197,6 +232,9 @@ class NullTelemetry(Telemetry):
 
     def snapshot(self) -> dict[str, dict[str, Any]]:
         return {"counters": {}, "gauges": {}, "timers": {}}
+
+    def absorb_snapshot(self, snapshot: dict[str, dict[str, Any]]) -> None:
+        return None
 
 
 NULL = NullTelemetry()

@@ -57,6 +57,27 @@ class TestClassifier:
         c2 = SegmentClassifier(trio, FS).classify(2 * capture)[0]
         assert abs(c2.amplitude) == pytest.approx(2 * abs(c1.amplitude), rel=0.05)
 
+    def test_center_estimate_tracks_offset(self, trio, rng):
+        # The frequency-selective kill filter notches around this
+        # estimate, so it must place a channel-offset transmitter in the
+        # right channel (notch widths are tens of kHz; a few kHz of
+        # modulation-asymmetry bias is immaterial).
+        xbee = next(m for m in trio if m.name == "xbee")
+        estimates = {}
+        for cfo in (0.0, 150e3):
+            builder = SceneBuilder(FS, 0.06, noise_power=1e-6)
+            builder.add_packet(
+                xbee, b"offset", 3000, 40, rng, cfo_hz=cfo,
+                snr_mode="capture",
+            )
+            capture, _ = builder.render(rng)
+            found = SegmentClassifier(trio, FS).classify(capture)
+            estimates[cfo] = next(
+                c.center_hz for c in found if c.technology == "xbee"
+            )
+        assert estimates[0.0] == pytest.approx(0.0, abs=10e3)
+        assert estimates[150e3] == pytest.approx(150e3, abs=10e3)
+
     def test_pure_noise_mostly_empty(self, trio, rng):
         noise = (rng.normal(size=120_000) + 1j * rng.normal(size=120_000)) / 2
         found = SegmentClassifier(trio, FS).classify(noise)
@@ -126,6 +147,27 @@ class TestReconstruction:
         assert weak is not None
         xbee_truth = next(p for p in truth.packets if p.technology == "xbee")
         assert weak.payload == xbee_truth.payload
+
+    def test_short_frame_still_aligns(self, rng):
+        # Regression: a frame shorter than one scoring block scored 0.0
+        # at every candidate offset, so the alignment search silently
+        # snapped to ``start - 16`` and the subtraction smeared the
+        # frame instead of cancelling it.
+        from repro.phy import create_modem
+
+        ble = create_modem("ble")
+        fs = ble.sample_rate
+        wave = ble.modulate(b"x")
+        assert len(wave) < max(int(0.25e-3 * fs), 128)  # the premise
+        builder = SceneBuilder(fs, 0.002, noise_power=1e-9)
+        builder.add_packet(ble, b"x", 2000, 60, rng, snr_mode="capture")
+        capture, _ = builder.render(rng)
+        frame = try_decode(ble, capture, fs)
+        assert frame is not None
+        residual, report = reconstruct_and_subtract(capture, fs, ble, frame)
+        assert report.cancelled_db > 30
+        left = residual[2000 : 2000 + len(wave)]
+        assert np.mean(np.abs(left) ** 2) < 1e-6
 
     def test_frame_outside_segment_is_noop(self, trio):
         lora = next(m for m in trio if m.name == "lora")

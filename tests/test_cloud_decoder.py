@@ -150,6 +150,25 @@ class TestCloudService:
         assert results
         assert abs(results[0].start - (70_000 + 5000)) < 64
 
+    def test_segment_rebasing_cross_rate(self, rng):
+        # Regression: frame starts come back from the decoder in the
+        # modem's *native-rate* samples. BLE decodes at 4 MHz while this
+        # capture is 2 MHz, so a packet at capture sample 5000 sits at
+        # native sample 10000 — adding that raw to the segment offset
+        # used to misplace the frame by its full in-segment position.
+        from repro.phy import create_modem
+
+        ble = create_modem("ble")
+        fs = 2e6
+        assert ble.sample_rate != fs  # the premise of the regression
+        builder = SceneBuilder(fs, 0.01, noise_power=1e-4)
+        builder.add_packet(ble, b"xrate", 5000, 25, rng, snr_mode="capture")
+        capture, _ = builder.render(rng)
+        segment = Segment(start=70_000, samples=capture, sample_rate=fs)
+        results = CloudService([ble], fs).process_segment(segment)
+        assert [r.payload for r in results] == [b"xrate"]
+        assert abs(results[0].start - (70_000 + 5000)) < 128
+
     def test_compressed_roundtrip(self, trio, rng):
         zwave = next(m for m in trio if m.name == "zwave")
         builder = SceneBuilder(FS, 0.08)

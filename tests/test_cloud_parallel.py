@@ -1,0 +1,253 @@
+"""Tests for the parallel cloud decode farm (repro.cloud.parallel)."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.parallel import ParallelCloudService
+from repro.cloud.pipeline import CloudService, CloudStats
+from repro.errors import ConfigurationError
+from repro.gateway.compression import SegmentCodec
+from repro.net.scene import SceneBuilder
+from repro.net.traffic import collision_scene
+from repro.telemetry import Telemetry, TimerStats
+from repro.types import Segment
+
+FS = 1e6
+
+
+@pytest.fixture(scope="module")
+def batch(trio, module_rng):
+    """Three shipped segments: solo, collision, solo — mixed difficulty."""
+    by = {m.name: m for m in trio}
+    segments = []
+    builder = SceneBuilder(FS, 0.06)
+    builder.add_packet(by["zwave"], b"first", 3000, 15, module_rng)
+    capture, _ = builder.render(module_rng)
+    segments.append(Segment(start=10_000, samples=capture, sample_rate=FS))
+    capture, _ = collision_scene(
+        [by["lora"], by["xbee"]], [12, 12], FS, module_rng, payload_len=8
+    )
+    segments.append(Segment(start=250_000, samples=capture, sample_rate=FS))
+    builder = SceneBuilder(FS, 0.06)
+    builder.add_packet(by["xbee"], b"third", 4000, 15, module_rng)
+    capture, _ = builder.render(module_rng)
+    segments.append(Segment(start=600_000, samples=capture, sample_rate=FS))
+    return segments
+
+
+@pytest.fixture(scope="module")
+def module_rng():
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture(scope="module")
+def serial_reference(trio, batch):
+    """The serial run every parallel configuration must reproduce."""
+    telemetry = Telemetry()
+    service = CloudService(trio, FS, telemetry=telemetry)
+    results = [r for s in batch for r in service.process_segment(s)]
+    return results, service.stats, telemetry.snapshot()
+
+
+def _strip_farm_metrics(snapshot):
+    """Counters minus the farm's own bookkeeping (absent in serial runs)."""
+    return {
+        name: value
+        for name, value in snapshot["counters"].items()
+        if not name.startswith("cloud.parallel.")
+    }
+
+
+class TestSerialEquivalence:
+    @pytest.mark.parametrize("workers", [1, 2, 3, 4])
+    def test_results_and_stats_match_serial(
+        self, trio, batch, serial_reference, workers
+    ):
+        ref_results, ref_stats, _ = serial_reference
+        with ParallelCloudService(
+            trio, FS, workers=workers, executor="thread"
+        ) as farm:
+            results = farm.process_segments(batch)
+            assert results == ref_results
+            assert farm.stats == ref_stats
+
+    def test_process_pool_matches_serial(self, trio, batch, serial_reference):
+        ref_results, ref_stats, _ = serial_reference
+        with ParallelCloudService(
+            trio, FS, workers=2, executor="process"
+        ) as farm:
+            results = farm.process_segments(batch)
+            assert results == ref_results
+            assert farm.stats == ref_stats
+
+    def test_telemetry_rollup_matches_serial(
+        self, trio, batch, serial_reference
+    ):
+        _, _, ref_snapshot = serial_reference
+        telemetry = Telemetry()
+        with ParallelCloudService(
+            trio, FS, workers=2, executor="thread", telemetry=telemetry
+        ) as farm:
+            farm.process_segments(batch)
+        merged = telemetry.snapshot()
+        assert _strip_farm_metrics(merged) == _strip_farm_metrics(ref_snapshot)
+        # Span *counts* must match too (wall-clock totals differ).
+        for name, stats in ref_snapshot["timers"].items():
+            assert merged["timers"][name]["count"] == stats["count"]
+        assert merged["counters"]["cloud.parallel.submitted"] == len(batch)
+        assert merged["counters"]["cloud.parallel.drained"] == len(batch)
+
+    def test_incremental_submit_matches_batch(
+        self, trio, batch, serial_reference
+    ):
+        ref_results, _, _ = serial_reference
+        with ParallelCloudService(
+            trio, FS, workers=2, executor="thread"
+        ) as farm:
+            for segment in batch:
+                farm.submit(segment)
+            assert farm.drain() == ref_results
+            assert farm.drain() == []  # nothing pending after a drain
+
+    def test_compressed_path_matches_serial(self, trio, batch):
+        # Compare against a *serial compressed* run: the wire codec is
+        # lossy, so compressed results differ (slightly) from raw ones.
+        codec = SegmentCodec()
+        blobs = [codec.compress(s)[0] for s in batch]
+        serial = CloudService(trio, FS, codec=codec)
+        ref_results = [r for b in blobs for r in serial.process_compressed(b)]
+        with ParallelCloudService(
+            trio, FS, workers=2, executor="thread", codec=codec
+        ) as farm:
+            results = farm.process_compressed_batch(blobs)
+            assert results == ref_results
+            assert farm.stats == serial.stats
+
+
+class TestStreamingHook:
+    def test_on_shipped_feeds_the_farm(self, trio, rng):
+        from repro.gateway import GalioTGateway, StreamingGateway, iter_chunks
+
+        by = {m.name: m for m in trio}
+        builder = SceneBuilder(FS, 0.3)
+        builder.add_packet(by["zwave"], b"hooked", 60_000, 15, rng)
+        builder.add_packet(by["xbee"], b"hooked2", 200_000, 15, rng)
+        capture, truth = builder.render(rng)
+        gateway = GalioTGateway(trio, FS, use_edge=False)
+        noise = (
+            rng.normal(size=100_000) + 1j * rng.normal(size=100_000)
+        ) * np.sqrt(truth.noise_power / 2)
+        gateway.detector.calibrate(noise)
+        with ParallelCloudService(
+            trio, FS, workers=2, executor="thread"
+        ) as farm:
+            stream = StreamingGateway(gateway, on_shipped=farm.submit)
+            for _ in stream.run(iter_chunks(capture, 65_536)):
+                pass
+            results = farm.drain()
+        assert {(r.technology, r.payload) for r in results} == {
+            ("zwave", b"hooked"),
+            ("xbee", b"hooked2"),
+        }
+        # Starts are capture-absolute: segment offset plus in-segment
+        # position, within detector granularity of the truth.
+        for r in results:
+            want = next(
+                p.start for p in truth.packets if p.technology == r.technology
+            )
+            assert abs(r.start - want) < 4096
+
+
+class TestValidation:
+    def test_rejects_empty_modems(self):
+        with pytest.raises(ConfigurationError):
+            ParallelCloudService([], FS)
+
+    def test_rejects_zero_workers(self, trio):
+        with pytest.raises(ConfigurationError):
+            ParallelCloudService(trio, FS, workers=0)
+
+    def test_rejects_unknown_executor(self, trio):
+        with pytest.raises(ConfigurationError):
+            ParallelCloudService(trio, FS, executor="greenlet")
+
+
+class TestMergePrimitives:
+    def test_cloud_stats_merge(self):
+        a = CloudStats(
+            segments=2, frames_decoded=3, by_method={"sic": 2, "kill-css": 1},
+            by_technology={"lora": 2, "xbee": 1}, kill_invocations=1,
+            sic_cancellations=2,
+        )
+        b = CloudStats(
+            segments=1, frames_decoded=1, by_method={"sic": 1},
+            by_technology={"zwave": 1}, sic_cancellations=1,
+        )
+        a.merge(b)
+        assert a == CloudStats(
+            segments=3, frames_decoded=4,
+            by_method={"sic": 3, "kill-css": 1},
+            by_technology={"lora": 2, "xbee": 1, "zwave": 1},
+            kill_invocations=1, sic_cancellations=3,
+        )
+
+    def test_merge_partitions_equals_serial(self):
+        whole = CloudStats()
+        parts = [CloudStats() for _ in range(3)]
+        for i, method in enumerate(["sic", "sic", "kill-css"]):
+            for target in (whole, parts[i]):
+                target.segments += 1
+                target.frames_decoded += 1
+                target.by_method[method] = target.by_method.get(method, 0) + 1
+        merged = CloudStats()
+        for part in parts:
+            merged.merge(part)
+        assert merged == whole
+
+    def test_timer_stats_merge(self):
+        a = TimerStats()
+        a.observe(0.5)
+        b = TimerStats()
+        b.observe(0.1)
+        b.observe(0.9)
+        a.merge(b)
+        assert a.count == 3
+        assert a.total_s == pytest.approx(1.5)
+        assert a.min_s == pytest.approx(0.1)
+        assert a.max_s == pytest.approx(0.9)
+
+    def test_merge_empty_timer_keeps_min(self):
+        a = TimerStats()
+        a.observe(0.5)
+        a.merge(TimerStats())
+        assert a.count == 1 and a.min_s == pytest.approx(0.5)
+
+    def test_absorb_snapshot_roundtrip(self):
+        worker = Telemetry()
+        worker.count("cloud.frames", 3)
+        worker.gauge("queue.depth", 7)
+        with worker.span("cloud.pipeline"):
+            pass
+        parent = Telemetry()
+        parent.count("cloud.frames", 1)
+        parent.absorb_snapshot(worker.snapshot())
+        assert parent.counters["cloud.frames"] == 4
+        assert parent.gauges["queue.depth"] == 7
+        assert parent.timers["cloud.pipeline.seconds"].count == 1
+
+    def test_absorb_empty_timer_snapshot_is_inert(self):
+        worker = Telemetry()
+        worker.timers["idle.seconds"] = TimerStats()
+        parent = Telemetry()
+        parent.observe("idle.seconds", 0.25)
+        parent.absorb_snapshot(worker.snapshot())
+        assert parent.timers["idle.seconds"].count == 1
+        assert parent.timers["idle.seconds"].min_s == pytest.approx(0.25)
+
+    def test_null_telemetry_absorb_is_noop(self):
+        from repro.telemetry import NULL
+
+        worker = Telemetry()
+        worker.count("x", 1)
+        NULL.absorb_snapshot(worker.snapshot())
+        assert NULL.counters == {}

@@ -61,6 +61,26 @@ class TestKillFrequency:
         kill = KillFrequency(create_modem("sigfox"))
         assert len(kill.bands()) == 1
 
+    def test_offset_target_notched_at_its_center(self, rng):
+        # Regression: ``apply`` used to drop its ``target`` argument and
+        # always notch baseband, so a victim sitting off its nominal
+        # center (neighbouring channel, large CFO) was never removed.
+        xbee = create_modem("xbee")
+        builder = SceneBuilder(FS, 0.12, noise_power=1e-9)
+        builder.add_packet(
+            xbee, b"shifted", 2000, 60, rng, cfo_hz=150e3, snr_mode="capture"
+        )
+        capture, _ = builder.render(rng)
+        kill = KillFrequency(xbee)
+        target = ClassifiedSignal(
+            "xbee", start=2000, score=1.0, amplitude=1.0, center_hz=150e3
+        )
+        on_target = kill.apply(capture, FS, target)
+        assert signal_power(on_target) < 0.12 * signal_power(capture)
+        # The baseband notches demonstrably miss this transmission.
+        baseband = kill.apply(capture, FS)
+        assert signal_power(baseband) > 0.5 * signal_power(capture)
+
     def test_css_bystander_survives(self, rng):
         lora = create_modem("lora")
         xbee = create_modem("xbee")

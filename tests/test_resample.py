@@ -2,11 +2,17 @@
 
 import numpy as np
 import pytest
+import scipy.signal as sp_signal
 
 from repro.dsp.resample import (
+    NativeRateCache,
+    clear_resample_plan_cache,
     decimate_integer,
     fractional_delay,
+    resample_plan,
+    resample_plan_cache_info,
     resample_rational,
+    set_resample_plan_cache,
     to_rate,
     upsample_integer,
 )
@@ -77,6 +83,77 @@ class TestToRate:
     def test_invalid_rates_rejected(self):
         with pytest.raises(ConfigurationError):
             to_rate(np.ones(4, complex), 0, 1e6)
+
+
+class TestResamplePlanCache:
+    # Each modem pair in a decode session hits the same (fs_in, fs_out)
+    # over and over; the plan cache must be invisible except in speed.
+
+    def test_plan_output_bit_identical_to_resample_poly(self, rng):
+        x = rng.normal(size=4096) + 1j * rng.normal(size=4096)
+        for fs_in, fs_out in [
+            (1e6, 4e6), (4e6, 1e6), (1e6, 16e3), (16e3, 1e6), (2e6, 250e3)
+        ]:
+            plan = resample_plan(fs_in, fs_out)
+            direct = sp_signal.resample_poly(x, plan.up, plan.down)
+            assert np.array_equal(plan.apply(x), direct), (fs_in, fs_out)
+
+    def test_to_rate_unchanged_by_cache(self, rng):
+        x = rng.normal(size=2048) + 1j * rng.normal(size=2048)
+        cached = to_rate(x, 1e6, 250e3)
+        old = set_resample_plan_cache(False)
+        try:
+            uncached = to_rate(x, 1e6, 250e3)
+        finally:
+            set_resample_plan_cache(old)
+        assert np.array_equal(cached, uncached)
+
+    def test_cache_hit_on_repeat(self):
+        clear_resample_plan_cache()
+        resample_plan(1e6, 4e6)
+        before = resample_plan_cache_info().hits
+        plan = resample_plan(1e6, 4e6)
+        info = resample_plan_cache_info()
+        assert info.hits == before + 1
+        assert (plan.up, plan.down) == (4, 1)
+
+    def test_identity_plan(self):
+        plan = resample_plan(1e6, 1e6)
+        assert plan.identity
+        x = np.arange(8, dtype=complex)
+        assert np.array_equal(plan.apply(x), x)
+
+    def test_extreme_ratio_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resample_plan(1e6, 1e-3)
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resample_plan(0, 1e6)
+
+
+class TestNativeRateCache:
+    def test_identity_view_is_zero_copy(self):
+        x = np.arange(64, dtype=complex)
+        cache = NativeRateCache(x, 1e6)
+        view = cache.view(1e6)
+        assert np.array_equal(view, x)
+        assert view.base is x or np.shares_memory(view, x)
+
+    def test_views_are_read_only(self):
+        cache = NativeRateCache(np.ones(128, complex), 1e6)
+        view = cache.view(250e3)
+        with pytest.raises(ValueError):
+            view[0] = 0
+
+    def test_repeat_view_is_cached(self):
+        cache = NativeRateCache(np.ones(128, complex), 1e6)
+        assert cache.view(4e6) is cache.view(4e6)
+
+    def test_view_matches_to_rate(self, rng):
+        x = rng.normal(size=1024) + 1j * rng.normal(size=1024)
+        cache = NativeRateCache(x, 1e6)
+        assert np.array_equal(cache.view(16e3), to_rate(x, 1e6, 16e3))
 
 
 class TestFractionalDelay:
