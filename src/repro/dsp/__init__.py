@@ -26,6 +26,15 @@ from .correlation import (
     normalized_correlation,
     segmented_correlation,
 )
+from .fastcorr import (
+    SpectrumPlan,
+    TemplateBank,
+    blocked_bank,
+    correlate_many,
+    fastcorr_enabled,
+    set_fastcorr,
+    spectrum_plan,
+)
 from .filters import (
     design_lowpass_fir,
     fft_bandpass,
@@ -83,6 +92,14 @@ __all__ = [
     "find_peaks_above",
     "normalized_correlation",
     "segmented_correlation",
+    # fastcorr
+    "SpectrumPlan",
+    "TemplateBank",
+    "blocked_bank",
+    "correlate_many",
+    "fastcorr_enabled",
+    "set_fastcorr",
+    "spectrum_plan",
     # filters
     "design_lowpass_fir",
     "fft_bandpass",

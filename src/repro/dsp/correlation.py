@@ -15,6 +15,12 @@ capture. Three flavours are provided:
 
 Peak picking (:func:`find_peaks_above`) enforces a minimum spacing so one
 packet produces one detection.
+
+Multi-template and blocked correlations run on the shared-FFT
+overlap-save engine in :mod:`repro.dsp.fastcorr`, which computes the
+forward FFT of the signal once per segment and reuses it across every
+template; set ``GALIOT_FASTCORR=off`` for the legacy one-``fftconvolve``
+-per-template path.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import numpy as np
 from scipy import signal as sp_signal
 
 from ..errors import ConfigurationError
+from .fastcorr import blocked_bank, correlate_many
 
 __all__ = [
     "cross_correlate",
@@ -93,11 +100,14 @@ def segmented_correlation(
     out_len = len(x) - len(template) + 1
     if out_len <= 0:
         raise ConfigurationError("template longer than signal")
+    # All blocks share one forward FFT per overlap-save segment (see
+    # repro.dsp.fastcorr); the tail past the last full block is dropped.
+    bank = blocked_bank(template[:used], block, partial_tail=False)
+    tracks = correlate_many(x, bank)
     acc = np.zeros(out_len)
-    for b in range(n_blocks):
-        seg = template[b * block : (b + 1) * block]
-        corr = cross_correlate(x, seg)
-        acc += np.abs(corr[b * block : b * block + out_len])
+    for offset in bank.keys():
+        corr = tracks[offset]
+        acc += np.abs(corr[offset : offset + out_len])
     template_norm = np.sqrt(np.sum(np.abs(template[:used]) ** 2)) + _EPS
     window_norm = np.sqrt(np.maximum(_window_energy(x, len(template)), 0.0))
     floor = max(float(window_norm.max(initial=0.0)), template_norm) * 1e-9 + _EPS
@@ -109,21 +119,74 @@ def segmented_correlation(
 
 
 def find_peaks_above(
-    scores: np.ndarray, threshold: float, min_distance: int
+    scores: np.ndarray,
+    threshold: float,
+    min_distance: int,
+    *,
+    local_max_only: bool = False,
 ) -> list[int]:
-    """Indices of local maxima exceeding ``threshold``, greedily spaced.
+    """Greedy min-distance suppression of above-threshold samples.
 
-    Peaks are accepted in descending score order; any candidate within
-    ``min_distance`` samples of an accepted peak is suppressed.
+    The candidate set is **every** sample scoring at or above
+    ``threshold`` — not just local maxima. Candidates are then accepted
+    in descending score order (ties: higher index first, the order of a
+    reversed stable sort) and any candidate within ``min_distance``
+    samples of an already-accepted peak is suppressed; it is this
+    greedy suppression that makes the result peak-like, one survivor
+    per ``min_distance`` neighbourhood. Returned indices are ascending.
+
+    The suppression loop is vectorized: candidates are visited in one
+    pass over the descending-score order and each acceptance knocks out
+    its whole neighbourhood with one array mask, so dense
+    above-threshold tracks (a seconds-long SigFox frame lights up every
+    sample) cost ``O(peaks x candidates)`` array work instead of the
+    quadratic pure-Python scan this replaces.
+
+    Args:
+        scores: Score track.
+        threshold: Candidate floor (inclusive).
+        min_distance: Minimum spacing between accepted peaks.
+        local_max_only: Prefilter candidates to true local maxima of
+            ``scores`` (one-sided at the track edges; plateau samples
+            all qualify) before the greedy pass. Off by default — the
+            greedy result is unchanged for clean peaks, but the
+            prefilter changes which sample of a noisy peak wins, so
+            compatibility keeps it opt-in.
+
+    Raises:
+        ConfigurationError: for ``min_distance < 1``.
     """
     if min_distance < 1:
         raise ConfigurationError("min_distance must be >= 1")
+    scores = np.asarray(scores)
     candidates = np.flatnonzero(scores >= threshold)
+    if local_max_only and candidates.size:
+        not_rising = np.empty(len(scores), dtype=bool)
+        not_rising[0] = True
+        np.greater_equal(scores[1:], scores[:-1], out=not_rising[1:])
+        not_falling = np.empty(len(scores), dtype=bool)
+        not_falling[-1] = True
+        np.greater_equal(scores[:-1], scores[1:], out=not_falling[:-1])
+        is_peak = not_rising & not_falling
+        candidates = candidates[is_peak[candidates]]
     if candidates.size == 0:
         return []
-    order = candidates[np.argsort(scores[candidates])[::-1]]
+    order = np.argsort(scores[candidates], kind="stable")[::-1]
+    idx_desc = candidates[order]
+    alive = np.ones(idx_desc.size, dtype=bool)
     accepted: list[int] = []
-    for idx in order:
-        if all(abs(idx - kept) >= min_distance for kept in accepted):
-            accepted.append(int(idx))
-    return sorted(accepted)
+    pos = 0
+    while pos < idx_desc.size:
+        if not alive[pos]:
+            # First still-alive candidate at or after pos (argmax finds
+            # the first True in C); none left ends the pass.
+            nxt = pos + int(np.argmax(alive[pos:]))
+            if not alive[nxt]:
+                break
+            pos = nxt
+        peak = int(idx_desc[pos])
+        accepted.append(peak)
+        alive[np.abs(idx_desc - peak) < min_distance] = False
+        pos += 1
+    accepted.sort()
+    return accepted

@@ -1,0 +1,440 @@
+"""Shared-FFT overlap-save correlation engine for the detection front.
+
+The gateway's hot path is correlation: every capture chunk is slid
+against every technology preamble (and, in CFO-tolerant mode, against
+every coherent sub-block of every preamble). Done naively — one
+:func:`scipy.signal.fftconvolve` per template — a 6-technology bank with
+8 CFO blocks recomputes the forward FFT of the *same* chunk ~48 times.
+This module restores the classic fix: compute ``FFT(x)`` once per
+overlap-save segment and reuse it across every template, block and
+detector.
+
+Three pieces:
+
+* :class:`SpectrumPlan` / :func:`spectrum_plan` — a memoized choice of
+  FFT length for one ``(n_samples, max_template_len, n_templates)``
+  workload. Candidates are ``scipy.fft.next_fast_len`` sizes from a few
+  times the template up to the single-shot length; the pick minimizes a
+  ``segments * nfft * log2(nfft)`` cost model, subject to a cap on the
+  template-spectra working set so a wide bank never materializes a
+  multi-hundred-megabyte spectra matrix.
+* :class:`TemplateBank` — the templates of one detector, with their
+  conjugate spectra precomputed per FFT length and cached on the bank
+  (a detector correlates thousands of chunks of the same length, so the
+  template FFTs are paid once, not per chunk).
+* :func:`correlate_many` — one forward FFT per overlap-save segment,
+  one (batched) inverse FFT per template per segment, with exact
+  "valid"-mode indexing: entry ``k`` of the result has length
+  ``len(x) - len(t_k) + 1`` and matches
+  :func:`repro.dsp.correlation.cross_correlate` sample for sample.
+
+Numerical contract: results are ``allclose`` to the single-shot
+``fftconvolve`` path but **not** bit-identical — ``fftconvolve`` rounds
+through one FFT of length ``next_fast_len(len(x) + len(t) - 1)`` while
+overlap-save rounds through segments of a different (usually much
+shorter) length, so the last few ulps differ. Event-level detector
+output is unaffected in practice (detection margins dwarf the ulp
+noise); the equivalence tests and ``benchmarks/bench_detection.py``
+assert exactly that.
+
+Set ``GALIOT_FASTCORR=off`` (or call :func:`set_fastcorr`) to fall back
+to the legacy per-template ``fftconvolve`` path, which *is*
+bit-identical to the pre-engine code — the equivalence tests diff the
+two engines against each other.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from collections.abc import Hashable, Iterable, Mapping
+from dataclasses import dataclass
+from functools import lru_cache
+from math import ceil, log2
+
+import numpy as np
+import numpy.typing as npt
+from scipy import fft as sp_fft
+from scipy import signal as sp_signal
+
+from ..contracts import ensure_iq
+from ..errors import ConfigurationError
+from ..telemetry import NULL, Telemetry
+
+__all__ = [
+    "SpectrumPlan",
+    "spectrum_plan",
+    "spectrum_plan_cache_info",
+    "clear_spectrum_plan_cache",
+    "TemplateBank",
+    "blocked_bank",
+    "correlate_many",
+    "fastcorr_enabled",
+    "set_fastcorr",
+]
+
+#: Cap on the cached conjugate-spectra working set of one bank at one
+#: FFT length, in complex128 elements (4M = 64 MiB). The planner rejects
+#: FFT lengths whose ``n_templates * nfft`` exceed it unless no shorter
+#: candidate exists, trading a few extra segments for bounded memory.
+MAX_SPECTRA_ELEMENTS = 4_000_000
+
+#: Spectra cache slots per bank (distinct FFT lengths kept resident).
+#: Streaming buffers settle on one length (plus a shorter first/last
+#: chunk), so a handful of slots covers real workloads.
+SPECTRA_CACHE_SLOTS = 4
+
+
+_ENGINE_ENABLED = os.environ.get("GALIOT_FASTCORR", "on").strip().lower() not in {
+    "off",
+    "0",
+    "false",
+    "no",
+}
+
+
+def fastcorr_enabled() -> bool:
+    """Whether :func:`correlate_many` uses the shared-FFT engine."""
+    return _ENGINE_ENABLED
+
+
+def set_fastcorr(enabled: bool) -> bool:
+    """Enable/disable the engine process-wide; returns the old setting.
+
+    Disabled, :func:`correlate_many` runs one ``fftconvolve`` per
+    template — bit-identical to the pre-engine detection code, and the
+    reference the equivalence tests compare against. The initial value
+    comes from the ``GALIOT_FASTCORR`` environment variable
+    (``off``/``0``/``false`` disable).
+    """
+    global _ENGINE_ENABLED
+    previous = _ENGINE_ENABLED
+    _ENGINE_ENABLED = bool(enabled)
+    return previous
+
+
+@dataclass(frozen=True)
+class SpectrumPlan:
+    """One memoized overlap-save layout.
+
+    Attributes:
+        n_samples: Signal length the plan was built for.
+        max_template_len: Longest template the plan must accommodate.
+        min_template_len: Shortest template in the workload — its valid
+            track ``n_samples - min_template_len + 1`` is the longest
+            one, and it is what the segment loop must cover.
+        nfft: FFT length (a ``next_fast_len`` size).
+        hop: Fresh samples per segment, ``nfft - (max_template_len - 1)``.
+            Every segment's first ``hop`` correlation lags are free of
+            circular wrap-around for *any* template up to
+            ``max_template_len``, so consecutive segments' outputs tile
+            the valid-mode track exactly.
+    """
+
+    n_samples: int
+    max_template_len: int
+    min_template_len: int
+    nfft: int
+    hop: int
+
+    @property
+    def n_segments(self) -> int:
+        """Segments (forward FFTs) needed to cover the longest track."""
+        out_max = self.n_samples - self.min_template_len + 1
+        return ceil(out_max / self.hop)
+
+
+def _plan_cost(nfft: int, overlap: int, out_max: int) -> float:
+    """FFT work proxy: segment count times per-segment FFT cost."""
+    segments = ceil(out_max / (nfft - overlap))
+    return segments * nfft * log2(nfft)
+
+
+@lru_cache(maxsize=512)
+def _cached_spectrum_plan(
+    n_samples: int,
+    max_template_len: int,
+    min_template_len: int,
+    n_templates: int,
+) -> SpectrumPlan:
+    overlap = max_template_len - 1
+    # The shortest template has the longest valid track; the segment
+    # loop covers it, so the cost model must plan for it too (a bank
+    # mixing an 8-sample BLE template with a 50k SigFox one would
+    # otherwise pay an unplanned extra segment).
+    out_max = n_samples - min_template_len + 1
+    single = int(sp_fft.next_fast_len(out_max + overlap))
+    candidates = {single}
+    target = max(2 * max_template_len, 16)
+    while target < out_max + overlap:
+        candidates.add(int(sp_fft.next_fast_len(target)))
+        target *= 2
+    affordable = {
+        c for c in candidates if c * n_templates <= MAX_SPECTRA_ELEMENTS
+    }
+    pool = affordable or {min(candidates)}
+    nfft = min(pool, key=lambda c: (_plan_cost(c, overlap, out_max), c))
+    return SpectrumPlan(
+        n_samples=n_samples,
+        max_template_len=max_template_len,
+        min_template_len=min_template_len,
+        nfft=nfft,
+        hop=nfft - overlap,
+    )
+
+
+def spectrum_plan(
+    n_samples: int,
+    max_template_len: int,
+    n_templates: int = 1,
+    min_template_len: int | None = None,
+) -> SpectrumPlan:
+    """Pick (and memoize) the overlap-save layout for one workload.
+
+    The cache key is ``(n_samples, max_template_len, min_template_len,
+    n_templates)`` — chunked streams hit the same key on every
+    steady-state chunk. ``min_template_len`` defaults to
+    ``max_template_len`` (a uniform-length bank).
+
+    Raises:
+        ConfigurationError: if the template does not fit the signal.
+    """
+    if max_template_len < 1:
+        raise ConfigurationError("max_template_len must be >= 1")
+    if max_template_len > n_samples:
+        raise ConfigurationError("template longer than signal")
+    if min_template_len is None:
+        min_template_len = max_template_len
+    if not 1 <= min_template_len <= max_template_len:
+        raise ConfigurationError(
+            "min_template_len must be in [1, max_template_len]"
+        )
+    return _cached_spectrum_plan(
+        int(n_samples),
+        int(max_template_len),
+        int(min_template_len),
+        max(int(n_templates), 1),
+    )
+
+
+def spectrum_plan_cache_info() -> object:
+    """``lru_cache`` statistics of the plan cache (hits/misses/size)."""
+    return _cached_spectrum_plan.cache_info()
+
+
+def clear_spectrum_plan_cache() -> None:
+    """Drop every memoized plan (tests and benchmarks)."""
+    _cached_spectrum_plan.cache_clear()
+
+
+class TemplateBank:
+    """The (conjugate) template spectra of one detector, cached per nfft.
+
+    A bank is built once per detector from its fixed templates; the
+    conjugate spectra at a given FFT length are computed on first use
+    and kept on the bank (:data:`SPECTRA_CACHE_SLOTS` most recent
+    lengths), so steady-state chunks pay zero template FFTs.
+
+    Args:
+        templates: Mapping of hashable keys (technology names, block
+            offsets, ...) to complex template waveforms. Iteration
+            order is preserved.
+
+    Raises:
+        ConfigurationError: for an empty bank or an empty template.
+    """
+
+    def __init__(self, templates: Mapping[Hashable, npt.ArrayLike]):
+        if not templates:
+            raise ConfigurationError("template bank must not be empty")
+        self._templates: dict[Hashable, np.ndarray] = {}
+        self._rows: dict[Hashable, int] = {}
+        for row, (key, waveform) in enumerate(templates.items()):
+            template = ensure_iq(waveform).copy()
+            if len(template) == 0:
+                raise ConfigurationError("template must not be empty")
+            template.flags.writeable = False
+            self._templates[key] = template
+            self._rows[key] = row
+        self._spectra_cache: OrderedDict[int, np.ndarray] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._templates)
+
+    def keys(self) -> list[Hashable]:
+        """Entry keys in insertion order."""
+        return list(self._templates)
+
+    def template(self, key: Hashable) -> np.ndarray:
+        """The (read-only) template stored under ``key``."""
+        return self._templates[key]
+
+    def length(self, key: Hashable) -> int:
+        """Template length in samples."""
+        return len(self._templates[key])
+
+    def row(self, key: Hashable) -> int:
+        """Row of ``key`` in the stacked spectra matrix."""
+        return self._rows[key]
+
+    @property
+    def max_template_len(self) -> int:
+        """Length of the longest template in the bank."""
+        return max(len(t) for t in self._templates.values())
+
+    def spectra(self, nfft: int) -> np.ndarray:
+        """Stacked conjugate spectra ``conj(FFT(t_k, nfft))``.
+
+        Shape ``(len(bank), nfft)``; row order matches :meth:`row`.
+        Cached per ``nfft`` (LRU over :data:`SPECTRA_CACHE_SLOTS`).
+        """
+        cached = self._spectra_cache.get(nfft)
+        if cached is not None:
+            self._spectra_cache.move_to_end(nfft)
+            return cached
+        matrix = np.empty((len(self._templates), nfft), dtype=np.complex128)
+        for row, template in enumerate(self._templates.values()):
+            matrix[row] = np.conj(sp_fft.fft(template, n=nfft))
+        matrix.flags.writeable = False
+        self._spectra_cache[nfft] = matrix
+        while len(self._spectra_cache) > SPECTRA_CACHE_SLOTS:
+            self._spectra_cache.popitem(last=False)
+        return matrix
+
+    def clear_spectra(self) -> None:
+        """Drop the cached spectra (tests and memory pressure)."""
+        self._spectra_cache.clear()
+
+
+def blocked_bank(
+    template: npt.ArrayLike,
+    block: int | None = None,
+    *,
+    partial_tail: bool = True,
+) -> TemplateBank:
+    """Bank of one template's coherent sub-blocks, keyed by offset.
+
+    Args:
+        template: The full reference waveform.
+        block: Coherent block length in samples; ``None`` yields a
+            single entry (key ``0``) holding the whole template.
+        partial_tail: Include the final short block when ``block`` does
+            not divide the template length (:func:`matched_filter_track
+            <repro.gateway.detection.matched_filter_track>` semantics);
+            ``False`` drops it (:func:`segmented_correlation
+            <repro.dsp.correlation.segmented_correlation>` semantics).
+
+    Raises:
+        ConfigurationError: for ``block < 1`` or a template shorter
+            than one block with ``partial_tail=False``.
+    """
+    template = ensure_iq(template)
+    if block is None:
+        return TemplateBank({0: template})
+    if block < 1:
+        raise ConfigurationError("block must be >= 1")
+    if partial_tail:
+        n_blocks = -(-len(template) // block)
+    else:
+        n_blocks = len(template) // block
+        if n_blocks == 0:
+            raise ConfigurationError("template shorter than one block")
+    return TemplateBank(
+        {
+            b * block: template[b * block : (b + 1) * block]
+            for b in range(n_blocks)
+        }
+    )
+
+
+def _fallback_correlate(
+    x: np.ndarray, bank: TemplateBank, keys: list[Hashable]
+) -> dict[Hashable, np.ndarray]:
+    """Legacy path: one full ``fftconvolve`` per template (bit-identical
+    to the pre-engine :func:`~repro.dsp.correlation.cross_correlate`)."""
+    return {
+        key: sp_signal.fftconvolve(
+            x, np.conj(bank.template(key)[::-1]), mode="valid"
+        )
+        for key in keys
+    }
+
+
+def correlate_many(
+    x: npt.ArrayLike,
+    bank: TemplateBank,
+    keys: Iterable[Hashable] | None = None,
+    telemetry: Telemetry = NULL,
+) -> dict[Hashable, np.ndarray]:
+    """Valid-mode complex correlation of ``x`` against many templates.
+
+    One forward FFT per overlap-save segment is shared by every
+    requested template; each template costs one (batched) inverse FFT
+    per segment. Entry ``k`` of the result is exactly
+    ``cross_correlate(x, bank.template(k))`` up to FFT rounding:
+    ``c[n] = sum_j conj(t[j]) x[n + j]``, length ``len(x) - len(t) + 1``.
+
+    Args:
+        x: Received complex samples.
+        bank: Prebuilt template bank.
+        keys: Subset of bank entries to score (default: all). Detectors
+            pass the templates that fit the current buffer.
+        telemetry: Metrics sink; spans ``fastcorr.correlate`` and counts
+            forward/inverse FFTs (or ``fastcorr.fallback_correlations``
+            when the engine is off).
+
+    Raises:
+        ConfigurationError: if any requested template is longer than
+            ``x`` (same contract as
+            :func:`~repro.dsp.correlation.cross_correlate`).
+    """
+    x = ensure_iq(x)
+    requested = bank.keys() if keys is None else list(keys)
+    if not requested:
+        return {}
+    lengths = [bank.length(key) for key in requested]
+    n_samples = len(x)
+    if max(lengths) > n_samples:
+        raise ConfigurationError("template longer than signal")
+    if not _ENGINE_ENABLED:
+        with telemetry.span("fastcorr.correlate"):
+            out = _fallback_correlate(x, bank, requested)
+        telemetry.count("fastcorr.fallback_correlations", len(requested))
+        return out
+
+    plan = spectrum_plan(
+        n_samples, max(lengths), len(requested), min(lengths)
+    )
+    with telemetry.span("fastcorr.correlate"):
+        spectra = bank.spectra(plan.nfft)
+        rows = np.fromiter(
+            (bank.row(key) for key in requested), dtype=np.intp
+        )
+        bank_spectra = spectra[rows]
+        out_lens = [n_samples - length + 1 for length in lengths]
+        out = {
+            key: np.empty(out_len, dtype=np.complex128)
+            for key, out_len in zip(requested, out_lens, strict=True)
+        }
+        longest_track = max(out_lens)
+        segment = np.zeros(plan.nfft, dtype=np.complex128)
+        pos = 0
+        n_segments = 0
+        while pos < longest_track:
+            stop = min(pos + plan.nfft, n_samples)
+            segment[: stop - pos] = x[pos:stop]
+            segment[stop - pos :] = 0.0
+            fwd = sp_fft.fft(segment)
+            corr = sp_fft.ifft(bank_spectra * fwd, axis=1)
+            for out_row, (key, out_len) in enumerate(
+                zip(requested, out_lens, strict=True)
+            ):
+                if pos >= out_len:
+                    continue
+                take = min(plan.hop, out_len - pos)
+                out[key][pos : pos + take] = corr[out_row, :take]
+            pos += plan.hop
+            n_segments += 1
+    telemetry.count("fastcorr.forward_ffts", n_segments)
+    telemetry.count("fastcorr.inverse_ffts", n_segments * len(requested))
+    return out

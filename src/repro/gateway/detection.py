@@ -25,7 +25,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..contracts import iq_contract
-from ..dsp.correlation import cross_correlate, find_peaks_above
+from ..dsp.correlation import find_peaks_above
+from ..dsp.fastcorr import TemplateBank, blocked_bank, correlate_many
 from ..dsp.filters import moving_average
 from ..dsp.resample import to_rate
 from ..errors import ConfigurationError
@@ -64,7 +65,12 @@ def cfar_threshold(scores: np.ndarray, k: float) -> float:
 
 
 def matched_filter_track(
-    x: np.ndarray, template: np.ndarray, block: int | None = None
+    x: np.ndarray,
+    template: np.ndarray,
+    block: int | None = None,
+    *,
+    bank: TemplateBank | None = None,
+    telemetry: Telemetry = NULL,
 ) -> np.ndarray:
     """Matched-filter magnitude track, normalized by the template norm.
 
@@ -75,30 +81,40 @@ def matched_filter_track(
     representative to the longest one). The CFAR threshold supplies the
     noise calibration that local normalization would otherwise provide.
 
+    Correlation runs on the shared-FFT engine
+    (:mod:`repro.dsp.fastcorr`): in blocked mode every sub-template
+    reuses one forward FFT per overlap-save segment instead of paying a
+    full ``fftconvolve`` each.
+
     Args:
         x: Received samples.
         template: Reference waveform.
         block: When set, correlate coherently per ``block`` samples and
             combine magnitudes non-coherently (CFO tolerance).
+        bank: Prebuilt ``blocked_bank(template, block)`` so a detector
+            scoring many chunks caches the template spectra across
+            calls; built transiently when omitted.
+        telemetry: Metrics sink threaded into the correlation engine.
     """
     norm = float(np.sqrt(np.sum(np.abs(template) ** 2)))
     if norm <= 0:
         raise ConfigurationError("template has zero energy")
-    if block is None:
-        return np.abs(cross_correlate(x, template)) / norm
-    # Ceiling division: the final (possibly partial) block must enter the
-    # accumulation, otherwise the remainder tail's energy is correlated by
-    # nobody while ``norm`` still charges for it, biasing every score low
-    # whenever len(template) % block != 0.
-    n_blocks = -(-len(template) // block)
     out_len = len(x) - len(template) + 1
     if out_len <= 0:
         raise ConfigurationError("template longer than signal")
+    if bank is None:
+        # Ceiling division (partial tail kept): the final short block
+        # must enter the accumulation, otherwise the remainder tail's
+        # energy is correlated by nobody while ``norm`` still charges
+        # for it, biasing every score low when len(template) % block != 0.
+        bank = blocked_bank(template, block, partial_tail=True)
+    tracks = correlate_many(x, bank, telemetry=telemetry)
+    if block is None:
+        return np.abs(tracks[0]) / norm
     acc = np.zeros(out_len)
-    for b in range(n_blocks):
-        seg = template[b * block : (b + 1) * block]
-        corr = np.abs(cross_correlate(x, seg))
-        acc += corr[b * block : b * block + out_len] ** 2
+    for offset in bank.keys():
+        corr = np.abs(tracks[offset])
+        acc += corr[offset : offset + out_len] ** 2
     return np.sqrt(acc) / norm
 
 
@@ -220,14 +236,79 @@ class PreambleBankDetector:
             m.name: to_rate(m.preamble_waveform(), m.sample_rate, self.sample_rate_hz)[:cap]
             for m in modems
         }
+        self._bank: TemplateBank | None = None
+        self._block_plan: dict[str, list[tuple[tuple[str, int], int]]] = {}
+
+    def _ensure_bank(self) -> TemplateBank:
+        """Bank of every technology's (sub-)templates, built once.
+
+        Entry keys are ``(technology, block_offset)``; ``_block_plan``
+        maps each technology to its entries in accumulation order, so
+        one :func:`~repro.dsp.fastcorr.correlate_many` call scores the
+        whole bank off a single forward FFT per overlap-save segment.
+        """
+        if self._bank is None:
+            entries: dict[tuple[str, int], np.ndarray] = {}
+            for name, template in self.templates.items():
+                if self.block is None:
+                    plan = [((name, 0), 0)]
+                    entries[(name, 0)] = template
+                else:
+                    n_blocks = -(-len(template) // self.block)
+                    plan = []
+                    for b in range(n_blocks):
+                        offset = b * self.block
+                        entries[(name, offset)] = template[
+                            offset : offset + self.block
+                        ]
+                        plan.append(((name, offset), offset))
+                self._block_plan[name] = plan
+            self._bank = TemplateBank(entries)
+        return self._bank
+
+    def _score_tracks(self, samples: np.ndarray) -> dict[str, np.ndarray]:
+        """Matched-filter tracks for every template that fits ``samples``.
+
+        Combination matches :func:`matched_filter_track` exactly
+        (coherent, or non-coherent across blocks with the partial tail
+        kept); the correlations themselves share forward FFTs across
+        all technologies and blocks.
+        """
+        bank = self._ensure_bank()
+        feasible = [
+            name
+            for name, template in self.templates.items()
+            if len(template) <= len(samples)
+        ]
+        keys = [
+            key for name in feasible for key, _ in self._block_plan[name]
+        ]
+        tracks = correlate_many(
+            samples, bank, keys=keys, telemetry=self.telemetry
+        )
+        out: dict[str, np.ndarray] = {}
+        for name in feasible:
+            template = self.templates[name]
+            norm = float(np.sqrt(np.sum(np.abs(template) ** 2)))
+            if norm <= 0:
+                raise ConfigurationError("template has zero energy")
+            out_len = len(samples) - len(template) + 1
+            if self.block is None:
+                out[name] = np.abs(tracks[(name, 0)]) / norm
+            else:
+                acc = np.zeros(out_len)
+                for key, offset in self._block_plan[name]:
+                    corr = np.abs(tracks[key])
+                    acc += corr[offset : offset + out_len] ** 2
+                out[name] = np.sqrt(acc) / norm
+        return out
 
     @iq_contract("samples")
     def calibrate(self, samples: np.ndarray) -> dict[str, float]:
         """Freeze per-technology thresholds from a calibration capture."""
         self.threshold = {
-            name: cfar_threshold(self._score(samples, template), self.k)
-            for name, template in self.templates.items()
-            if len(template) <= len(samples)
+            name: cfar_threshold(scores, self.k)
+            for name, scores in self._score_tracks(samples).items()
         }
         return self.threshold
 
@@ -247,7 +328,9 @@ class PreambleBankDetector:
         return len(self.templates)
 
     def _score(self, samples: np.ndarray, template: np.ndarray) -> np.ndarray:
-        return matched_filter_track(samples, template, self.block)
+        return matched_filter_track(
+            samples, template, self.block, telemetry=self.telemetry
+        )
 
     @iq_contract("samples")
     def detect(self, samples: np.ndarray) -> list[DetectionEvent]:
@@ -255,10 +338,7 @@ class PreambleBankDetector:
         self.telemetry.count("detect.samples_in", len(samples))
         events: list[DetectionEvent] = []
         with self.telemetry.span("detect"):
-            for name, template in self.templates.items():
-                if len(template) > len(samples):
-                    continue
-                scores = self._score(samples, template)
+            for name, scores in self._score_tracks(samples).items():
                 threshold = self._threshold_for(name, scores)
                 for idx in find_peaks_above(scores, threshold, self.min_distance):
                     events.append(
@@ -292,13 +372,10 @@ class PreambleBankDetector:
         self.telemetry.count("detect.samples_in", len(samples))
         out: list[tuple[str | None, int, np.ndarray, np.ndarray]] = []
         with self.telemetry.span("detect"):
-            for name, template in self.templates.items():
-                if len(template) > len(samples):
-                    continue
-                scores = self._score(samples, template)
+            for name, scores in self._score_tracks(samples).items():
                 threshold = self._threshold_for(name, scores)
                 idx = np.flatnonzero(scores >= threshold)
-                out.append((name, len(template), idx, scores[idx]))
+                out.append((name, len(self.templates[name]), idx, scores[idx]))
         return out
 
 
@@ -327,18 +404,73 @@ def match_events(
     """
     detected: set[int] = set()
     false_alarms: list[DetectionEvent] = []
-    for event in events:
-        best = None
-        best_dist = None
-        for p in packets:
-            if p.start - gate <= event.index < p.end:
-                dist = abs(event.index - p.start)
-                if best_dist is None or dist < best_dist:
-                    best, best_dist = p, dist
-        if best is None:
+    if not packets or not events:
+        return detected, list(events)
+    # Sorted-by-start layout: for each event the nearest qualifying
+    # start is found with one binary search plus a short backward scan,
+    # instead of a full pass over every packet per event. ``order``
+    # breaks equal starts by original list position so ties resolve
+    # exactly as the old first-strictly-smaller-distance loop did.
+    starts = np.fromiter((p.start for p in packets), dtype=np.int64)
+    ends = np.fromiter((p.end for p in packets), dtype=np.int64)
+    order = np.lexsort((np.arange(len(packets)), starts))
+    s_sorted = starts[order]
+    e_sorted = ends[order]
+    # Running max of ends prunes the backward scan: once every packet at
+    # or left of a slot has ended by the event index, none can qualify.
+    cummax_end = np.maximum.accumulate(e_sorted)
+    indices = np.fromiter((e.index for e in events), dtype=np.int64)
+    j_right = np.searchsorted(s_sorted, indices, side="right")
+    n_packets = len(packets)
+    for event, idx, j in zip(events, indices, j_right, strict=True):
+        best_pos: int | None = None
+        best_dist: int | None = None
+        # Right side: starts strictly above the event index, ascending
+        # distance — the first equal-start run containing a qualifying
+        # packet (event before its end) wins; within the run the
+        # earliest original position among the qualifiers is kept.
+        r = j
+        while r < n_packets and s_sorted[r] - gate <= idx:
+            if idx < e_sorted[r]:
+                run_start = int(s_sorted[r])
+                best_dist = run_start - int(idx)
+                best_pos = int(order[r])
+                r += 1
+                while r < n_packets and s_sorted[r] == run_start:
+                    if idx < e_sorted[r] and int(order[r]) < best_pos:
+                        best_pos = int(order[r])
+                    r += 1
+                break
+            r += 1
+        # Left side: starts at or below the event index, distance grows
+        # as the scan moves left, so the first slot whose packet is
+        # still in flight (end > idx) is the nearest qualifying start.
+        k = j - 1
+        while k >= 0 and cummax_end[k] > idx:
+            if e_sorted[k] > idx and s_sorted[k] - gate <= idx:
+                dist = int(idx - s_sorted[k])
+                if best_dist is None or dist <= best_dist:
+                    # Equal starts share the distance; the earliest
+                    # original position among the qualifiers wins.
+                    lo = int(
+                        np.searchsorted(s_sorted, s_sorted[k], side="left")
+                    )
+                    pos = int(order[k])
+                    for k2 in range(lo, k):
+                        if e_sorted[k2] > idx and int(order[k2]) < pos:
+                            pos = int(order[k2])
+                    if (
+                        best_dist is None
+                        or dist < best_dist
+                        or pos < best_pos
+                    ):
+                        best_pos, best_dist = pos, dist
+                break
+            k -= 1
+        if best_pos is None:
             false_alarms.append(event)
         else:
-            detected.add(best.packet_id)
+            detected.add(packets[best_pos].packet_id)
     return detected, false_alarms
 
 

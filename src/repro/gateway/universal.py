@@ -28,6 +28,7 @@ from ..dsp.correlation import (
     normalized_correlation,
 )
 from ..contracts import iq_contract
+from ..dsp.fastcorr import TemplateBank, blocked_bank
 from ..dsp.resample import to_rate
 from ..errors import ConfigurationError
 from ..phy.base import Modem
@@ -190,6 +191,9 @@ class UniversalPreambleDetector:
         self.block = block
         self.threshold = threshold
         self.telemetry = telemetry
+        # Persistent sub-template bank: the shared-FFT engine caches the
+        # conjugate template spectra across every scored chunk.
+        self._bank: TemplateBank = blocked_bank(universal.waveform, block)
 
     @iq_contract("samples")
     def calibrate(self, samples: np.ndarray) -> float:
@@ -205,7 +209,13 @@ class UniversalPreambleDetector:
     @iq_contract("samples")
     def scores(self, samples: np.ndarray) -> np.ndarray:
         """Matched-filter score track against the universal template."""
-        return matched_filter_track(samples, self.universal.waveform, self.block)
+        return matched_filter_track(
+            samples,
+            self.universal.waveform,
+            self.block,
+            bank=self._bank,
+            telemetry=self.telemetry,
+        )
 
     @iq_contract("samples")
     def detect(self, samples: np.ndarray) -> list[DetectionEvent]:

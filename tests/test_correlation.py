@@ -121,3 +121,71 @@ class TestFindPeaks:
     def test_invalid_distance_rejected(self):
         with pytest.raises(ConfigurationError):
             find_peaks_above(np.zeros(10), 0.5, 0)
+
+
+class TestFindPeaksTieOrder:
+    """Pin the greedy order exactly: descending score, ties broken by
+    *higher index first* (a reversed stable sort). StreamingGateway
+    replays this suppression incrementally across chunk joins, so the
+    order is load-bearing — changing it silently desynchronizes the
+    streamed and monolithic event lists."""
+
+    def test_tie_prefers_higher_index(self):
+        scores = np.zeros(30)
+        scores[[10, 13]] = 1.0  # equal scores within one exclusion zone
+        assert find_peaks_above(scores, 0.5, 5) == [13]
+
+    def test_tie_cascade(self):
+        # Three equal candidates, 4 apart, min_distance 5: the highest
+        # index (18) wins first and knocks out 14; 10 then survives.
+        scores = np.zeros(30)
+        scores[[10, 14, 18]] = 1.0
+        assert find_peaks_above(scores, 0.5, 5) == [10, 18]
+
+    def test_plateau_resolves_to_last_sample(self):
+        scores = np.zeros(40)
+        scores[10:20] = 1.0  # dense plateau: every sample is a candidate
+        assert find_peaks_above(scores, 0.5, 100) == [19]
+
+    def test_tie_heavy_matches_reference(self, rng):
+        # Differential pin against the original O(P^2) greedy loop over
+        # tracks quantized to few levels (maximally tie-heavy).
+        def reference(scores, threshold, min_distance):
+            candidates = np.flatnonzero(scores >= threshold)
+            order = np.argsort(scores[candidates], kind="stable")[::-1]
+            accepted = []
+            for idx in candidates[order]:
+                if all(abs(idx - p) >= min_distance for p in accepted):
+                    accepted.append(int(idx))
+            return sorted(accepted)
+
+        for _ in range(200):
+            n = int(rng.integers(1, 200))
+            levels = int(rng.integers(1, 4))
+            scores = rng.integers(0, levels + 1, size=n) / levels
+            threshold = float(rng.choice([0.0, 0.5, 1.0]))
+            min_distance = int(rng.integers(1, 20))
+            assert find_peaks_above(scores, threshold, min_distance) == (
+                reference(scores, threshold, min_distance)
+            )
+
+
+class TestFindPeaksLocalMax:
+    def test_default_keeps_every_above_threshold_sample(self):
+        # The docstring contract: candidates are NOT restricted to local
+        # maxima by default — a monotone ramp's top wins, but a sample on
+        # the rising flank survives when the summit is suppressed.
+        scores = np.array([0.0, 0.6, 0.7, 0.8, 0.9, 1.0, 0.0])
+        assert find_peaks_above(scores, 0.5, 3) == [2, 5]
+
+    def test_local_max_only_prefilters_flanks(self):
+        scores = np.array([0.0, 0.6, 0.7, 0.8, 0.9, 1.0, 0.0])
+        assert find_peaks_above(scores, 0.5, 3, local_max_only=True) == [5]
+
+    def test_local_max_plateau_and_edges(self):
+        # Plateau samples all qualify (ties resolve to the highest
+        # index); track edges are compared one-sided.
+        scores = np.array([1.0, 0.2, 0.8, 0.8, 0.8, 0.2, 1.0])
+        # Plateau: 4 wins the tie (highest index), 3 falls inside its
+        # exclusion zone, 2 sits exactly min_distance away and survives.
+        assert find_peaks_above(scores, 0.5, 2, local_max_only=True) == [0, 2, 4, 6]

@@ -168,3 +168,106 @@ class TestMatching:
 
     def test_empty_packets_gives_nan(self):
         assert np.isnan(detection_ratio([], []))
+
+
+class TestMatchingCollisions:
+    """Pin nearest-start assignment through overlapping collision gates
+    — the regime the vectorized searchsorted implementation must get
+    byte-for-byte right."""
+
+    def _colliding(self):
+        # Two packets whose gates overlap: a short xbee burst inside a
+        # long lora frame, plus a trailing zwave burst.
+        return [
+            PacketTruth(0, "lora", 10_000, 80_000, 0.0, b"a"),
+            PacketTruth(1, "xbee", 12_000, 4_000, 0.0, b"b"),
+            PacketTruth(2, "zwave", 15_000, 2_000, 0.0, b"c"),
+        ]
+
+    def test_event_between_starts_credits_nearest(self):
+        # idx 11_500: distances are 1500 (lora), 500 (xbee ahead).
+        detected, fas = match_events(
+            [DetectionEvent(11_500, 1.0, "t")], self._colliding(), gate=2048
+        )
+        assert detected == {1}
+        assert fas == []
+
+    def test_event_after_short_packet_end_falls_through(self):
+        # idx 16_001 is nearest zwave's start (1001) but also inside it;
+        # idx 17_100 is past zwave's end (17_000) so the long lora frame
+        # is the only packet still in flight that qualifies.
+        detected, _ = match_events(
+            [DetectionEvent(17_100, 1.0, "t")], self._colliding(), gate=2048
+        )
+        assert detected == {0}
+
+    def test_equal_starts_prefer_first_listed(self):
+        packets = [
+            PacketTruth(0, "xbee", 5_000, 3_000, 0.0, b"a"),
+            PacketTruth(1, "zwave", 5_000, 3_000, 0.0, b"b"),
+        ]
+        detected, _ = match_events(
+            [DetectionEvent(5_100, 1.0, "t")], packets, gate=512
+        )
+        assert detected == {0}
+        # Reversed listing flips the winner: position breaks the tie.
+        packets = [packets[1], packets[0]]
+        detected, _ = match_events(
+            [DetectionEvent(5_100, 1.0, "t")], packets, gate=512
+        )
+        assert detected == {1}
+
+    def test_zero_length_packet_never_credited(self):
+        packets = [
+            PacketTruth(0, "xbee", 1_000, 0, 0.0, b"a"),
+            PacketTruth(1, "zwave", 1_010, 500, 0.0, b"b"),
+        ]
+        detected, fas = match_events(
+            [DetectionEvent(1_000, 1.0, "t")], packets, gate=256
+        )
+        # The zero-length packet contains nothing (end == start); the
+        # event must fall through to the next-nearest qualifying start.
+        assert detected == {1}
+        assert fas == []
+
+    def test_matches_naive_reference(self, rng):
+        # Differential pin against the original O(events x packets)
+        # scan, over dense scenes with equal starts, zero-length
+        # packets and heavy overlap.
+        def reference(events, packets, gate):
+            detected, fas = set(), []
+            for event in events:
+                best, best_dist = None, None
+                for packet in packets:
+                    if packet.start - gate <= event.index < packet.end:
+                        dist = abs(event.index - packet.start)
+                        if best_dist is None or dist < best_dist:
+                            best, best_dist = packet.packet_id, dist
+                if best is None:
+                    fas.append(event)
+                else:
+                    detected.add(best)
+            return detected, fas
+
+        for _ in range(300):
+            n_packets = int(rng.integers(1, 12))
+            packets = [
+                PacketTruth(
+                    i,
+                    "t",
+                    int(rng.integers(0, 500)),
+                    int(rng.integers(0, 400)),
+                    0.0,
+                    b"",
+                )
+                for i in range(n_packets)
+            ]
+            events = [
+                DetectionEvent(int(rng.integers(0, 1000)), 1.0, "t")
+                for _ in range(int(rng.integers(0, 12)))
+            ]
+            gate = int(rng.integers(0, 200))
+            got_detected, got_fas = match_events(events, packets, gate)
+            ref_detected, ref_fas = reference(events, packets, gate)
+            assert got_detected == ref_detected
+            assert [e.index for e in got_fas] == [e.index for e in ref_fas]
