@@ -1,0 +1,222 @@
+#!/usr/bin/env python
+"""Resilience overhead and chaos survival: faults off vs 10 % outages.
+
+Three end-to-end gateway-to-cloud runs over the same scene:
+
+* **off** — plain :class:`~repro.gateway.backhaul.BackhaulLink`, the
+  pre-resilience pipeline.
+* **off (wrapped)** — :class:`~repro.gateway.resilience.
+  ResilientBackhaul` with no fault plan: measures the wrapper's
+  off-mode overhead, which the resilience PR promises stays under ~2 %
+  (recorded, machine-dependent).
+* **outage-10** — the same wrapper under a
+  :func:`~repro.faults.periodic_outages` plan with a 10 % duty cycle:
+  measures end-to-end frame *survival* (fraction of the fault-free
+  frames still decoded) plus spill/eviction accounting.
+
+Unlike the pytest-benchmark files next to it, this is a standalone
+script: it emits a machine-readable ``BENCH_resilience.json`` so
+successive PRs accumulate a trajectory (see the README note on
+``BENCH_*.json`` files).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py          # full
+    PYTHONPATH=src python benchmarks/bench_resilience.py --smoke  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.cloud import CloudService  # noqa: E402
+from repro.faults import FaultPlan, periodic_outages  # noqa: E402
+from repro.gateway import (  # noqa: E402
+    BackhaulLink,
+    GalioTGateway,
+    ResilientBackhaul,
+    StreamingGateway,
+    iter_chunks,
+)
+from repro.net.scene import SceneBuilder  # noqa: E402
+from repro.phy import create_modem  # noqa: E402
+from repro.telemetry import Telemetry  # noqa: E402
+
+FS = 1e6
+CHUNK = 65_536
+
+
+def build_scene(n_packets: int, duration_s: float, rng):
+    """Evenly spaced xbee/zwave packets over ``duration_s`` seconds."""
+    modems = [create_modem("xbee"), create_modem("zwave")]
+    builder = SceneBuilder(FS, duration_s)
+    spacing = int((duration_s * FS - 60_000) / max(n_packets, 1))
+    for i in range(n_packets):
+        builder.add_packet(
+            modems[i % 2], b"pkt%03d" % i, 30_000 + i * spacing, 15, rng
+        )
+    capture, truth = builder.render(rng)
+    noise = (rng.normal(size=60_000) + 1j * rng.normal(size=60_000)) * np.sqrt(
+        truth.noise_power / 2
+    )
+    return modems, capture, noise
+
+
+def run_pipeline(modems, capture, noise, backhaul):
+    """Stream the capture, decode everything shipped; time the whole path."""
+    telemetry = Telemetry()
+    gateway = GalioTGateway(
+        modems, FS, use_edge=False, backhaul=backhaul, telemetry=telemetry
+    )
+    gateway.detector.calibrate(noise)
+    cloud = CloudService(modems, FS)
+    frames = set()
+    t0 = time.perf_counter()
+    stream = StreamingGateway(gateway)
+    report = stream.process_stream(iter_chunks(capture, CHUNK))
+    for segment in report.shipped:
+        frames |= {
+            (r.technology, r.payload)
+            for r in cloud.process_segment(segment)
+            if r.ok
+        }
+    elapsed = time.perf_counter() - t0
+    return frames, report, telemetry, elapsed
+
+
+def timed_runs(repeats, modems, capture, noise, make_backhaul):
+    """Best-of-N wall time (fresh backhaul per run; frames from the last)."""
+    best = float("inf")
+    for _ in range(repeats):
+        frames, report, telemetry, elapsed = run_pipeline(
+            modems, capture, noise, make_backhaul()
+        )
+        best = min(best, elapsed)
+    return frames, report, telemetry, best
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny scene, one timing pass: CI plumbing check",
+    )
+    parser.add_argument("--packets", type=int, default=None)
+    parser.add_argument("--duration", type=float, default=None)
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="timing repeats per configuration (best-of)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_resilience.json")
+    )
+    args = parser.parse_args(argv)
+    n_packets = args.packets or (6 if args.smoke else 24)
+    duration_s = args.duration or (0.35 if args.smoke else 1.2)
+    repeats = args.repeats or (1 if args.smoke else 3)
+
+    rng = np.random.default_rng(0xFA117)
+    modems, capture, noise = build_scene(n_packets, duration_s, rng)
+    print(
+        f"fixture: {n_packets} packets / {duration_s:.2f} s capture, "
+        f"cpu_count={os.cpu_count()}"
+    )
+
+    link = lambda: BackhaulLink(rate_bps=20e6, max_queue_s=0.5)  # noqa: E731
+
+    base_frames, base_report, _, t_off = timed_runs(
+        repeats, modems, capture, noise, link
+    )
+    rate_off = len(base_frames) / t_off if t_off else 0.0
+    print(
+        f"off          : {t_off:6.2f} s  {len(base_frames)} frames "
+        f"({rate_off:.2f} frames/s)"
+    )
+
+    wrapped_frames, wrapped_report, _, t_wrapped = timed_runs(
+        repeats, modems, capture, noise, lambda: ResilientBackhaul(link())
+    )
+    overhead = (t_wrapped - t_off) / t_off if t_off else 0.0
+    identical = wrapped_frames == base_frames and (
+        wrapped_report.shipped_bits == base_report.shipped_bits
+    )
+    print(
+        f"off (wrapped): {t_wrapped:6.2f} s  overhead {overhead * 100:+.2f} % "
+        f"identical={identical}"
+    )
+
+    plan = FaultPlan(outages=periodic_outages(duration_s, duration_s / 4, 0.10))
+    chaos_frames, chaos_report, chaos_telemetry, t_chaos = timed_runs(
+        repeats,
+        modems,
+        capture,
+        noise,
+        lambda: ResilientBackhaul(link(), faults=plan, base_backoff_s=0.01),
+    )
+    survival = (
+        len(chaos_frames & base_frames) / len(base_frames)
+        if base_frames
+        else 1.0
+    )
+    counters = chaos_telemetry.counters
+    print(
+        f"outage-10%   : {t_chaos:6.2f} s  survival {survival * 100:.1f} % "
+        f"(spilled={counters.get('backhaul.spilled', 0)}, "
+        f"recovered={counters.get('backhaul.recovered', 0)}, "
+        f"evicted={counters.get('backhaul.evicted', 0)}, "
+        f"dropped={chaos_report.dropped_segments})"
+    )
+
+    payload = {
+        "bench": "resilience",
+        "schema": 1,
+        "smoke": bool(args.smoke),
+        "cpu_count": os.cpu_count(),
+        "n_packets": n_packets,
+        "duration_s": duration_s,
+        "off": {
+            "seconds": t_off,
+            "frames": len(base_frames),
+            "frames_per_sec": rate_off,
+        },
+        "off_wrapped": {
+            "seconds": t_wrapped,
+            "overhead_fraction": overhead,
+            "identical_to_off": identical,
+        },
+        "outage10": {
+            "seconds": t_chaos,
+            "frames": len(chaos_frames),
+            "survival": survival,
+            "outage_duty_cycle": plan.outage_duty_cycle(duration_s),
+            "spilled": counters.get("backhaul.spilled", 0),
+            "recovered": counters.get("backhaul.recovered", 0),
+            "evicted": counters.get("backhaul.evicted", 0),
+            "dropped_segments": chaos_report.dropped_segments,
+        },
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if not identical:
+        print("ERROR: off-mode wrapper changed the results", file=sys.stderr)
+        return 1
+    if survival < 0.95:
+        print(
+            f"ERROR: outage survival {survival:.3f} below 0.95",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

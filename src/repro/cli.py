@@ -10,7 +10,12 @@ Two families of subcommands:
 * ``galiot cloud --workers N`` — stream a collision-heavy scene through
   the gateway and fan the shipped segments out over the
   :class:`~repro.cloud.parallel.ParallelCloudService` decode farm
-  (``--workers 0`` decodes serially for comparison).
+  (``--workers 0`` decodes serially for comparison);
+* ``galiot chaos --scenario mixed`` — run the same end-to-end pipeline
+  under a seeded :class:`~repro.faults.FaultPlan` (backhaul outages,
+  worker crashes/hangs, poison segments, front-end dropouts) with the
+  resilience layer on, and report frame survival versus the fault-free
+  run.
 """
 
 from __future__ import annotations
@@ -198,6 +203,140 @@ def _run_cloud(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_chaos(args: argparse.Namespace) -> int:
+    """End-to-end chaos drill: fault-free baseline vs. resilient run."""
+    from .cloud import CloudResilience, CloudService, ParallelCloudService
+    from .faults import build_scenario
+    from .gateway import (
+        BackhaulLink,
+        DegradationLadder,
+        GalioTGateway,
+        ResilientBackhaul,
+        RtlSdrModel,
+        StreamingGateway,
+        iter_chunks,
+    )
+    from .net.scene import SceneBuilder
+    from .phy import create_modem
+
+    fs = 1e6
+    rng = np.random.default_rng(args.seed)
+    # Compact-frame technologies by default: with LoRa in the mix its
+    # 2x-frame extraction windows merge every packet into one mega
+    # segment, which collapses the per-segment fault axes (poison,
+    # corruption) the drill exists to exercise.
+    modems = [create_modem(n.strip()) for n in args.technologies.split(",")]
+    builder = SceneBuilder(fs, args.duration)
+    n_samples = int(args.duration * fs)
+    for i in range(args.packets):
+        modem = modems[i % len(modems)]
+        start = int((i + 0.5) * n_samples / args.packets)
+        builder.add_packet(
+            modem, f"chaos-{i}".encode(), start, args.snr, rng,
+            snr_mode="capture",
+        )
+    capture, truth = builder.render(rng)
+    noise = (
+        rng.normal(size=200_000) + 1j * rng.normal(size=200_000)
+    ) * np.sqrt(truth.noise_power / 2)
+    plan = build_scenario(
+        args.scenario,
+        seed=args.seed,
+        duration_s=args.duration,
+        n_segments_hint=args.packets,
+    )
+
+    def run(faulty: bool):
+        telemetry = Telemetry()
+        front_end = (
+            RtlSdrModel(faults=plan if faulty else None)
+            if plan.sample_gaps
+            else None
+        )
+        if faulty:
+            backhaul = ResilientBackhaul(
+                BackhaulLink(rate_bps=args.rate_mbps * 1e6, max_queue_s=0.5),
+                faults=plan,
+            )
+            ladder = DegradationLadder()
+        else:
+            backhaul, ladder = None, None
+        gateway = GalioTGateway(
+            modems, fs, use_edge=False, front_end=front_end,
+            backhaul=backhaul, degradation=ladder, telemetry=telemetry,
+        )
+        gateway.detector.calibrate(noise)
+        if faulty:
+            farm = ParallelCloudService(
+                modems, fs, workers=args.workers, executor=args.executor,
+                telemetry=telemetry, faults=plan,
+                resilience=CloudResilience(decode_timeout_s=30.0),
+            )
+            stream = StreamingGateway(
+                gateway, on_shipped=farm.submit, fault_tolerant=True
+            )
+            report = stream.process_stream(iter_chunks(capture, args.chunk))
+            results = farm.drain()
+            quarantined = list(farm.quarantine)
+            stats = farm.stats
+            farm.close()
+        else:
+            service = CloudService(modems, fs, telemetry=telemetry)
+            stream = StreamingGateway(gateway)
+            report = stream.process_stream(iter_chunks(capture, args.chunk))
+            results = [
+                r for s in report.shipped for r in service.process_segment(s)
+            ]
+            quarantined = []
+            stats = service.stats
+        return report, results, quarantined, stats, telemetry
+
+    print(f"scenario {args.scenario!r} (seed {args.seed}):")
+    for w in plan.outages:
+        print(f"  outage          {w.start_s:.3f}s .. {w.end_s:.3f}s")
+    for s in plan.latency_spikes:
+        print(f"  latency spike   {s.start_s:.3f}s .. {s.end_s:.3f}s (+{s.extra_s*1e3:.0f} ms)")
+    for g in plan.sample_gaps:
+        print(f"  sample gap      {g.start} (+{g.length} samples)")
+    if plan.poison_segments:
+        print(f"  poison segments {sorted(plan.poison_segments)}")
+    if plan.corrupt_segments:
+        print(f"  corrupt segments {sorted(plan.corrupt_segments)}")
+    if plan.crash_submissions:
+        print(f"  worker crashes at submissions {sorted(plan.crash_submissions)}")
+    if plan.hang_submissions:
+        print(f"  worker hangs at submissions {sorted(plan.hang_submissions)}")
+    print()
+
+    _, base_results, _, _, _ = run(faulty=False)
+    report, results, quarantined, stats, telemetry = run(faulty=True)
+
+    base_frames = [(r.technology, r.payload) for r in base_results if r.ok]
+    frames = [(r.technology, r.payload) for r in results if r.ok]
+    survived = sum(1 for f in base_frames if f in frames)
+    ratio = survived / len(base_frames) if base_frames else 1.0
+    print(
+        f"fault-free frames: {len(base_frames)}  "
+        f"chaos frames: {len(frames)}  "
+        f"survival: {100 * ratio:.1f}%"
+    )
+    print(
+        f"gateway: {len(report.shipped)} shipped, "
+        f"{report.degraded_segments} degraded (metadata-only), "
+        f"{report.dropped_segments} evicted"
+    )
+    print(
+        f"cloud: {stats.segments} decoded, {stats.retried} retried, "
+        f"{stats.requeued} requeued, {stats.quarantined} quarantined, "
+        f"{stats.degraded} degraded"
+    )
+    for q in quarantined:
+        print(f"  quarantined seq {q.seq}: {q.reason}")
+    print()
+    print(format_snapshot(telemetry.snapshot()))
+    return 0 if ratio >= 0.95 else 1
+
+
 def _run_lint(args: argparse.Namespace) -> int:
     """Run the repo's DSP-aware linter (``tools/galiot_lint``)."""
     try:
@@ -318,6 +457,55 @@ def main(argv: list[str] | None = None) -> int:
         "--seed", type=int, default=0xC0FFEE, help="scene RNG seed"
     )
     cloud.set_defaults(func=_run_cloud)
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a seeded fault scenario through the resilient pipeline",
+    )
+    from .faults import SCENARIOS
+
+    chaos.add_argument(
+        "--scenario", choices=SCENARIOS, default="mixed",
+        help="named fault scenario to inject (default: mixed)",
+    )
+    chaos.add_argument(
+        "--workers", type=_positive_int, default=2,
+        help="decode farm size (default: 2)",
+    )
+    chaos.add_argument(
+        "--executor", choices=["process", "thread"], default="thread",
+        help="worker pool flavour (default: thread)",
+    )
+    chaos.add_argument(
+        "--chunk", type=_positive_int, default=262_144,
+        help="streaming chunk size in samples (default: 262144)",
+    )
+    chaos.add_argument(
+        "--duration", type=float, default=2.0,
+        help="scene duration in seconds (default: 2.0)",
+    )
+    chaos.add_argument(
+        "--packets", type=_positive_int, default=48,
+        help="packets placed in the scene (default: 48 — the mixed "
+        "scenario loses ~2 segments, so the 95%% survival bar needs "
+        "a few dozen)",
+    )
+    chaos.add_argument(
+        "--snr", type=float, default=12.0,
+        help="per-packet capture SNR in dB (default: 12)",
+    )
+    chaos.add_argument(
+        "--rate-mbps", type=float, default=20.0,
+        help="backhaul link rate in Mbit/s (default: 20)",
+    )
+    chaos.add_argument(
+        "--technologies", default="xbee,zwave",
+        help="comma-separated modem round-robin (default: xbee,zwave; "
+        "adding lora merges packets into few large segments)",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=0xC0FFEE, help="scene + fault RNG seed"
+    )
+    chaos.set_defaults(func=_run_chaos)
     lint = sub.add_parser(
         "lint",
         help="run the DSP-aware static-analysis pass (galiot-lint)",

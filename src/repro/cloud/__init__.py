@@ -4,7 +4,7 @@ from .classify import ClassifiedSignal, SegmentClassifier
 from .decoder import CloudDecodeReport, CloudDecoder
 from .dispatch import Assignment, ComputeNode, Dispatcher, SlaPolicy
 from .kill_filters import KillCodes, KillCss, KillFrequency, kill_filter_for
-from .parallel import ParallelCloudService
+from .parallel import CloudResilience, ParallelCloudService, QuarantinedSegment
 from .pipeline import CloudService, CloudStats
 from .sic import ReconstructionReport, reconstruct_and_subtract, try_decode
 
@@ -23,7 +23,9 @@ __all__ = [
     "kill_filter_for",
     "CloudService",
     "CloudStats",
+    "CloudResilience",
     "ParallelCloudService",
+    "QuarantinedSegment",
     "ReconstructionReport",
     "reconstruct_and_subtract",
     "try_decode",

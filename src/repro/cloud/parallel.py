@@ -10,15 +10,45 @@ the serial :class:`~repro.cloud.pipeline.CloudService` guarantees:
 * **Determinism.** Results are merged in *submission* order, never
   completion order, so a parallel run is result-identical to the serial
   service over the same segments (segments are independent by
-  construction: each is decoded from its own sample buffer).
+  construction: each is decoded from its own sample buffer). Retries
+  and requeues keep their original sequence slot, so a faulty run is
+  deterministic too: same fault plan, same merged results, same
+  counters.
 * **Aggregated stats.** Every worker reports a per-segment
   :class:`~repro.cloud.pipeline.CloudStats` delta; the parent folds them
   with :meth:`CloudStats.merge`, so the totals equal a serial run's.
 * **Telemetry rollup.** Workers record into their own sinks; the parent
   absorbs each per-segment snapshot
-  (:meth:`~repro.telemetry.Telemetry.absorb_snapshot`) in submission
+  (:meth:`~repro.telemetry.Telemetry.absorb_snapshot`) in sequence
   order — counters and span counts match the serial pipeline's exactly,
   wall-clock totals reflect the actual per-worker time spent.
+
+On top of that sits the resilience layer (all off by default, zero
+overhead when unused):
+
+* **Per-segment decode timeouts** (:attr:`CloudResilience.
+  decode_timeout_s`): a segment that overruns its budget is counted
+  ``degraded`` and requeued; one that keeps overrunning is quarantined
+  instead of wedging ``drain()`` forever.
+* **Crash recovery.** A dead process-pool worker surfaces as
+  ``BrokenProcessPool``, which poisons *every* in-flight future; the
+  farm respawns the pool once per breakage and requeues everything that
+  had not already finished. A breakage also poisons ``submit()`` itself,
+  so new arrivals (e.g. from the streaming gateway's ``on_shipped``
+  hook) trigger the same respawn instead of being rejected at the door.
+  Thread-pool crash injection raises
+  :class:`~repro.errors.InjectedCrash` and takes the same requeue path
+  (minus the respawn — the pool itself is intact).
+* **Retry-once-then-quarantine.** A decode exception (poison segment,
+  corrupt blob, injected fault) is retried up to
+  :attr:`CloudResilience.max_retries` times; a segment that still
+  fails lands in :attr:`ParallelCloudService.quarantine` with its
+  reason, and the pipeline moves on.
+
+All outcomes are surfaced twice: as telemetry counters
+(``cloud.parallel.retried`` / ``requeued`` / ``quarantined`` /
+``degraded`` / ``timeouts`` / ``crashes`` / ``pool_respawns``) and in
+:class:`CloudStats`.
 
 Worker state (one :class:`CloudService` per worker, built once by the
 pool initializer) lives in a ``threading.local``: a process-pool worker
@@ -29,22 +59,70 @@ thread, so the same initializer serves both executors.
 from __future__ import annotations
 
 import threading
+from collections import deque
 from concurrent.futures import (
+    BrokenExecutor,
     Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
-from dataclasses import dataclass
+from concurrent.futures import (
+    TimeoutError as FutureTimeoutError,
+)
+from dataclasses import dataclass, field
 from typing import Any
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, InjectedCrash
+from ..faults import FaultPlan
 from ..gateway.compression import CompressedSegment, SegmentCodec
 from ..phy.base import Modem
 from ..telemetry import NULL, Telemetry
 from ..types import DecodeResult, Segment
 from .pipeline import CloudService, CloudStats
 
-__all__ = ["ParallelCloudService"]
+__all__ = ["CloudResilience", "QuarantinedSegment", "ParallelCloudService"]
+
+
+@dataclass(frozen=True)
+class CloudResilience:
+    """Fault-handling policy for the decode farm.
+
+    Attributes:
+        decode_timeout_s: Per-segment wall-clock decode budget; ``None``
+            (default) waits forever, exactly like the pre-resilience
+            farm.
+        max_retries: Decode-exception retries before quarantine
+            (retry *once* then quarantine, by default).
+        max_requeues: Crash/timeout requeues before quarantine — bounds
+            how long a persistently hanging segment can churn the pool.
+        propagate_errors: Re-raise decode exceptions instead of
+            quarantining (restores the fail-fast behaviour; crash and
+            timeout handling stay active).
+    """
+
+    decode_timeout_s: float | None = None
+    max_retries: int = 1
+    max_requeues: int = 3
+    propagate_errors: bool = False
+
+    def __post_init__(self) -> None:
+        if self.decode_timeout_s is not None and self.decode_timeout_s <= 0:
+            raise ConfigurationError("decode_timeout_s must be positive")
+        if self.max_retries < 0 or self.max_requeues < 0:
+            raise ConfigurationError(
+                "max_retries and max_requeues must be >= 0"
+            )
+
+
+@dataclass(frozen=True)
+class QuarantinedSegment:
+    """One segment the farm gave up on, with the evidence."""
+
+    seq: int
+    payload: Segment | CompressedSegment
+    reason: str
+    attempts: int
+    requeues: int
 
 
 @dataclass(frozen=True)
@@ -56,6 +134,8 @@ class _WorkerConfig:
     use_kill_filters: bool
     strict_order: bool
     codec: SegmentCodec | None
+    faults: FaultPlan | None = None
+    is_process: bool = True
 
 
 _worker = threading.local()
@@ -80,22 +160,59 @@ def _init_worker(config: _WorkerConfig) -> None:
     service.codec.telemetry = telemetry
     _worker.service = service
     _worker.telemetry = telemetry
+    _worker.faults = config.faults
+    _worker.is_process = config.is_process
 
 
 _WorkerResult = tuple[list[DecodeResult], CloudStats, dict[str, dict[str, Any]]]
 
 
-def _run_one(segment: Segment | CompressedSegment) -> _WorkerResult:
-    """Decode one segment in a worker; return (results, stats, telemetry)."""
+def _run_one(
+    payload: Segment | CompressedSegment, seq: int, submission: int
+) -> _WorkerResult:
+    """Decode one segment in a worker; return (results, stats, telemetry).
+
+    ``seq`` is the segment's stable sequence number (identical across
+    retries), ``submission`` the retry-inclusive pool-submission counter
+    — the two axes a :class:`~repro.faults.FaultPlan` keys its worker
+    faults on.
+    """
     service: CloudService = _worker.service
     telemetry: Telemetry = _worker.telemetry
+    faults: FaultPlan | None = getattr(_worker, "faults", None)
+    if faults is not None:
+        faults.apply_in_worker(seq, submission, _worker.is_process)
+        if isinstance(payload, Segment):
+            payload = Segment(
+                start=payload.start,
+                samples=faults.corrupt_samples(seq, payload.samples),
+                sample_rate=payload.sample_rate,
+                detections=payload.detections,
+            )
+        else:
+            payload = CompressedSegment(
+                blob=faults.corrupt_blob(seq, payload.blob)
+            )
     service.stats = CloudStats()
     telemetry.reset()
-    if isinstance(segment, CompressedSegment):
-        results = service.process_compressed(segment)
+    if isinstance(payload, CompressedSegment):
+        results = service.process_compressed(payload)
     else:
-        results = service.process_segment(segment)
+        results = service.process_segment(payload)
     return results, service.stats, telemetry.snapshot()
+
+
+@dataclass
+class _Pending:
+    """Parent-side bookkeeping for one in-flight segment."""
+
+    seq: int
+    payload: Segment | CompressedSegment
+    future: Future
+    generation: int
+    attempts: int = 0
+    requeues: int = 0
+    timed_out: bool = False
 
 
 class ParallelCloudService:
@@ -117,6 +234,11 @@ class ParallelCloudService:
         executor: ``"process"`` (default — real parallelism for the
             CPU-bound decode) or ``"thread"`` (cheaper startup, shared
             memory; useful for tests and I/O-bound deployments).
+        faults: Optional :class:`~repro.faults.FaultPlan` shipped to
+            every worker (chaos testing).
+        resilience: Fault-handling policy; the default behaves like the
+            pre-resilience farm for healthy workloads but quarantines
+            failing segments instead of raising out of ``drain()``.
     """
 
     def __init__(
@@ -129,6 +251,8 @@ class ParallelCloudService:
         codec: SegmentCodec | None = None,
         telemetry: Telemetry = NULL,
         executor: str = "process",
+        faults: FaultPlan | None = None,
+        resilience: CloudResilience | None = None,
     ):
         if not modems:
             raise ConfigurationError("at least one modem is required")
@@ -141,57 +265,173 @@ class ParallelCloudService:
         self.telemetry = telemetry
         self.workers = int(workers)
         self.executor_kind = executor
+        self.resilience = resilience if resilience is not None else CloudResilience()
         self.stats = CloudStats()
-        config = _WorkerConfig(
+        self.quarantine: list[QuarantinedSegment] = []
+        self._config = _WorkerConfig(
             modems=tuple(modems),
             sample_rate_hz=float(sample_rate_hz),
             use_kill_filters=bool(use_kill_filters),
             strict_order=bool(strict_order),
             codec=codec,
+            faults=faults,
+            is_process=executor == "process",
         )
+        self._generation = 0
+        self._seq = 0
+        self._submissions = 0
+        self._closed = False
+        self._pool = self._make_pool()
+        self._pending: list[_Pending] = []
+
+    # -- pool lifecycle ---------------------------------------------------
+
+    def _make_pool(self):
         pool_cls = (
-            ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
+            ProcessPoolExecutor
+            if self.executor_kind == "process"
+            else ThreadPoolExecutor
         )
-        self._pool = pool_cls(
+        return pool_cls(
             max_workers=self.workers,
             initializer=_init_worker,
-            initargs=(config,),
+            initargs=(self._config,),
         )
-        self._pending: list[Future[_WorkerResult]] = []
+
+    def _respawn(self) -> None:
+        """Replace a broken pool; in-flight work must be resubmitted."""
+        old = self._pool
+        self._generation += 1
+        try:
+            old.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass  # a broken pool may refuse even shutdown — abandon it
+        self._pool = self._make_pool()
+        self.telemetry.count("cloud.parallel.pool_respawns")
 
     # -- submission -------------------------------------------------------
 
+    def _dispatch(self, item: _Pending) -> None:
+        """(Re-)submit one pending item to the current pool.
+
+        A broken process pool poisons ``submit()`` itself, not just the
+        in-flight futures — without this respawn-and-resubmit, every
+        segment arriving between a worker crash and the next ``drain()``
+        (e.g. from the streaming gateway's ``on_shipped`` hook) would be
+        rejected at the door and lost outside the requeue accounting.
+        """
+        try:
+            item.future = self._submit(item)
+        except BrokenExecutor:
+            self.telemetry.count("cloud.parallel.crashes")
+            self._respawn()
+            item.future = self._submit(item)
+
+    def _submit(self, item: _Pending) -> Future:
+        submission = self._submissions
+        self._submissions += 1
+        item.generation = self._generation
+        return self._pool.submit(_run_one, item.payload, item.seq, submission)
+
+    def _enqueue(self, payload: Segment | CompressedSegment) -> None:
+        item = _Pending(
+            seq=self._seq, payload=payload, future=None, generation=self._generation
+        )
+        self._seq += 1
+        self._dispatch(item)
+        self._pending.append(item)
+        self.telemetry.count("cloud.parallel.submitted")
+
     def submit(self, segment: Segment) -> None:
         """Queue one decompressed segment for decoding."""
-        self._pending.append(self._pool.submit(_run_one, segment))
-        self.telemetry.count("cloud.parallel.submitted")
+        self._enqueue(segment)
 
     def submit_compressed(self, compressed: CompressedSegment) -> None:
         """Queue one wire blob; the worker decompresses it (so codec
         telemetry lands in the worker sink, exactly as in a serial run)."""
-        self._pending.append(self._pool.submit(_run_one, compressed))
-        self.telemetry.count("cloud.parallel.submitted")
+        self._enqueue(compressed)
 
     # -- collection -------------------------------------------------------
 
     def drain(self) -> list[DecodeResult]:
-        """Wait for every outstanding segment; merge in submission order.
+        """Wait for every outstanding segment; merge in sequence order.
 
         Returns the concatenated decode results. Stats and telemetry
-        rollups happen here, also in submission order, so repeated runs
+        rollups happen here, in segment-sequence order, so repeated runs
         over the same segments produce identical aggregates regardless
-        of worker scheduling.
+        of worker scheduling — with or without injected faults. Crashed
+        or timed-out submissions are requeued (bounded), failing decodes
+        retried then quarantined; ``drain()`` itself only raises when
+        :attr:`CloudResilience.propagate_errors` is set.
         """
         pending, self._pending = self._pending, []
-        merged: list[DecodeResult] = []
+        queue = deque(pending)
+        done: dict[int, _WorkerResult] = {}
         with self.telemetry.span("cloud.parallel.drain"):
-            for future in pending:
-                results, stats, snapshot = future.result()
-                merged.extend(results)
-                self.stats.merge(stats)
-                self.telemetry.absorb_snapshot(snapshot)
-        self.telemetry.count("cloud.parallel.drained", len(pending))
+            while queue:
+                item = queue.popleft()
+                try:
+                    done[item.seq] = item.future.result(
+                        timeout=self.resilience.decode_timeout_s
+                    )
+                except FutureTimeoutError:
+                    item.future.cancel()
+                    item.timed_out = True
+                    self.stats.degraded += 1
+                    self.telemetry.count("cloud.parallel.timeouts")
+                    self.telemetry.count("cloud.parallel.degraded")
+                    self._requeue(item, queue, reason="decode timeout")
+                except (BrokenExecutor, InjectedCrash) as exc:
+                    self.telemetry.count("cloud.parallel.crashes")
+                    if (
+                        isinstance(exc, BrokenExecutor)
+                        and item.generation == self._generation
+                    ):
+                        self._respawn()
+                    self._requeue(item, queue, reason=f"worker crash: {exc!r}")
+                except Exception as exc:
+                    if self.resilience.propagate_errors:
+                        raise
+                    if item.attempts < self.resilience.max_retries:
+                        item.attempts += 1
+                        self.stats.retried += 1
+                        self.telemetry.count("cloud.parallel.retried")
+                        self._dispatch(item)
+                        queue.append(item)
+                    else:
+                        self._quarantine(item, f"decode failure: {exc!r}")
+        merged: list[DecodeResult] = []
+        for seq in sorted(done):
+            results, stats, snapshot = done[seq]
+            merged.extend(results)
+            self.stats.merge(stats)
+            self.telemetry.absorb_snapshot(snapshot)
+        self.telemetry.count("cloud.parallel.drained", len(done))
         return merged
+
+    def _requeue(self, item: _Pending, queue: deque, reason: str) -> None:
+        """Give a crashed/timed-out submission another trip, bounded."""
+        if item.requeues < self.resilience.max_requeues:
+            item.requeues += 1
+            self.stats.requeued += 1
+            self.telemetry.count("cloud.parallel.requeued")
+            self._dispatch(item)
+            queue.append(item)
+        else:
+            self._quarantine(item, reason)
+
+    def _quarantine(self, item: _Pending, reason: str) -> None:
+        self.quarantine.append(
+            QuarantinedSegment(
+                seq=item.seq,
+                payload=item.payload,
+                reason=reason,
+                attempts=item.attempts,
+                requeues=item.requeues,
+            )
+        )
+        self.stats.quarantined += 1
+        self.telemetry.count("cloud.parallel.quarantined")
 
     def process_segments(self, segments: list[Segment]) -> list[DecodeResult]:
         """Batch convenience: submit every segment, then drain."""
@@ -210,8 +450,19 @@ class ParallelCloudService:
     # -- lifecycle --------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the pool down (outstanding work completes first)."""
-        self._pool.shutdown(wait=True)
+        """Shut the pool down (outstanding work completes first).
+
+        Idempotent and exception-safe: double-``close()``, ``close()``
+        after a worker crash, and ``__exit__`` on an error path are all
+        no-ops or absorbed (counted as ``cloud.parallel.close_errors``).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._pool.shutdown(wait=True)
+        except Exception:
+            self.telemetry.count("cloud.parallel.close_errors")
 
     def __enter__(self) -> ParallelCloudService:
         return self

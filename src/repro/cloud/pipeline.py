@@ -20,7 +20,20 @@ __all__ = ["CloudStats", "CloudService"]
 
 @dataclass
 class CloudStats:
-    """Aggregate counters across all processed segments."""
+    """Aggregate counters across all processed segments.
+
+    The last four fields are resilience outcomes, written by the
+    parallel decode farm's fault handling (a serial, fault-free run
+    leaves them at zero):
+
+    * ``retried`` — decode attempts repeated after a decode exception;
+    * ``requeued`` — submissions re-dispatched after a worker crash or
+      a per-segment decode timeout;
+    * ``quarantined`` — segments given up on after exhausting retries
+      (poison) or requeues (persistent crash/hang);
+    * ``degraded`` — decode-timeout events: a segment that overran its
+      budget at least once, whether its requeue later succeeded or not.
+    """
 
     segments: int = 0
     frames_decoded: int = 0
@@ -28,6 +41,10 @@ class CloudStats:
     by_technology: dict[str, int] = field(default_factory=dict)
     kill_invocations: int = 0
     sic_cancellations: int = 0
+    retried: int = 0
+    requeued: int = 0
+    quarantined: int = 0
+    degraded: int = 0
 
     def absorb(self, report: CloudDecodeReport) -> None:
         """Fold one segment's report into the totals."""
@@ -53,6 +70,10 @@ class CloudStats:
         self.frames_decoded += other.frames_decoded
         self.kill_invocations += other.kill_invocations
         self.sic_cancellations += other.sic_cancellations
+        self.retried += other.retried
+        self.requeued += other.requeued
+        self.quarantined += other.quarantined
+        self.degraded += other.degraded
         for method, n in other.by_method.items():
             self.by_method[method] = self.by_method.get(method, 0) + n
         for technology, n in other.by_technology.items():

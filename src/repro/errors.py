@@ -42,5 +42,23 @@ class ContractViolationError(ReproError):
     """
 
 
+class InjectedFault(DecodeError):
+    """A scheduled fault from a :class:`~repro.faults.FaultPlan` fired.
+
+    Raised by cloud decode workers for *poison* segments: deterministic
+    per segment, so a retry fails identically and the segment ends up
+    quarantined rather than looping.
+    """
+
+
+class InjectedCrash(ReproError):
+    """A scheduled worker crash fired in a thread-pool worker.
+
+    Process-pool workers crash for real (``os._exit``) and surface as
+    ``BrokenProcessPool``; thread-pool workers raise this instead, and
+    the decode farm treats both as the same transient worker loss.
+    """
+
+
 class UnknownTechnologyError(ReproError, KeyError):
     """A technology name is not present in the PHY registry."""

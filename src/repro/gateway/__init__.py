@@ -29,6 +29,12 @@ from .hopping import (
     HoppingFrontend,
     run_hopping_campaign,
 )
+from .resilience import (
+    DegradationLadder,
+    ResilientBackhaul,
+    ShipOutcome,
+    SpillEntry,
+)
 from .rtlsdr import RtlSdrConfig, RtlSdrModel
 from .streaming import StreamingGateway, detector_context, iter_chunks
 from .universal import UniversalPreamble, UniversalPreambleDetector
@@ -60,6 +66,10 @@ __all__ = [
     "HopScheduler",
     "DwellResult",
     "run_hopping_campaign",
+    "DegradationLadder",
+    "ResilientBackhaul",
+    "ShipOutcome",
+    "SpillEntry",
     "RtlSdrConfig",
     "RtlSdrModel",
     "StreamingGateway",

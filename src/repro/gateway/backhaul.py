@@ -51,21 +51,37 @@ class BackhaulLink:
     shipments: list[Shipment] = field(default_factory=list)
     telemetry: Telemetry = field(default=NULL, repr=False, compare=False)
     _busy_until: float = 0.0
+    _last_submit: float = field(default=float("-inf"), repr=False)
 
     def __post_init__(self) -> None:
         if self.rate_bps <= 0:
             raise ConfigurationError("rate_bps must be positive")
         if self.latency_s < 0:
             raise ConfigurationError("latency_s must be >= 0")
+        if self.max_queue_s <= 0:
+            raise ConfigurationError("max_queue_s must be positive")
 
     def ship(self, n_bits: int, at_time: float) -> Shipment:
         """Submit ``n_bits`` at ``at_time``; returns the arrival record.
 
+        Submissions must be non-decreasing in ``at_time`` (the link is a
+        FIFO serialization model: a submission dated before one already
+        accepted would have to rewrite history, and before this check it
+        silently mis-accounted the backlog instead).
+
         Raises:
             CapacityError: when the queue backlog exceeds the bound.
+            ConfigurationError: on negative ``n_bits`` or an ``at_time``
+                earlier than an already-accepted submission.
         """
         if n_bits < 0:
             raise ConfigurationError("n_bits must be >= 0")
+        if at_time < self._last_submit:
+            raise ConfigurationError(
+                f"non-monotonic submission: at_time {at_time:.6f}s is "
+                f"before the last accepted submission "
+                f"({self._last_submit:.6f}s)"
+            )
         start = max(at_time, self._busy_until)
         backlog = start - at_time
         self.telemetry.gauge("backhaul.backlog_s", backlog)
@@ -76,6 +92,7 @@ class BackhaulLink:
             )
         done = start + n_bits / self.rate_bps
         self._busy_until = done
+        self._last_submit = at_time
         shipment = Shipment(
             submitted_at=at_time,
             n_bits=n_bits,

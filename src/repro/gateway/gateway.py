@@ -30,6 +30,7 @@ from .compression import SegmentCodec
 from .detection import EnergyDetector, PreambleBankDetector
 from .edge import EdgeDecoder
 from .extractor import SegmentExtractor
+from .resilience import DegradationLadder, ResilientBackhaul, SpillEntry
 from .rtlsdr import RtlSdrModel
 from .universal import UniversalPreamble, UniversalPreambleDetector
 
@@ -47,7 +48,11 @@ class GatewayReport:
         edge_results: Frames the edge resolved locally.
         shipped_bits: Total bits placed on the backhaul.
         raw_bits: Bits a ship-everything design would have sent.
-        dropped_segments: Segments lost to backhaul overload.
+        dropped_segments: Segments lost to backhaul overload (with a
+            :class:`~repro.gateway.resilience.ResilientBackhaul`, only
+            explicit drop-policy evictions land here).
+        degraded_segments: Segments shipped metadata-only by the
+            degradation ladder (the cloud cannot joint-decode them).
     """
 
     events: list[DetectionEvent] = field(default_factory=list)
@@ -57,6 +62,7 @@ class GatewayReport:
     shipped_bits: int = 0
     raw_bits: int = 0
     dropped_segments: int = 0
+    degraded_segments: int = 0
 
     @property
     def backhaul_saving(self) -> float:
@@ -85,6 +91,7 @@ class GatewayReport:
         self.shipped_bits += other.shipped_bits
         self.raw_bits += other.raw_bits
         self.dropped_segments += other.dropped_segments
+        self.degraded_segments += other.degraded_segments
         return self
 
     @staticmethod
@@ -107,7 +114,14 @@ class GalioTGateway:
         front_end: RTL-SDR model; ``None`` processes the clean stream.
         use_edge: Run the edge decode pass before shipping.
         codec: Segment compression codec.
-        backhaul: Uplink model (``None`` for unlimited).
+        backhaul: Uplink model (``None`` for unlimited). Pass a
+            :class:`~repro.gateway.resilience.ResilientBackhaul` for
+            spill-and-retry shipping instead of drop-on-overload.
+        degradation: Optional
+            :class:`~repro.gateway.resilience.DegradationLadder`; under
+            sustained backpressure (resilient backhaul only) shipping
+            degrades full -> compressed -> metadata-only and recovers
+            when the link heals.
         telemetry: Metrics sink threaded through every stage (the
             shared no-op by default).
         detector_kwargs: Extra arguments for the chosen detector.
@@ -121,7 +135,8 @@ class GalioTGateway:
         front_end: RtlSdrModel | None = None,
         use_edge: bool = True,
         codec: SegmentCodec | None = None,
-        backhaul: BackhaulLink | None = None,
+        backhaul: BackhaulLink | ResilientBackhaul | None = None,
+        degradation: DegradationLadder | None = None,
         telemetry: Telemetry | None = None,
         **detector_kwargs,
     ):
@@ -143,6 +158,12 @@ class GalioTGateway:
         self.backhaul = backhaul
         if self.backhaul is not None and self.backhaul.telemetry is NULL:
             self.backhaul.telemetry = self.telemetry
+            if isinstance(self.backhaul, ResilientBackhaul):
+                self.backhaul.link.telemetry = self.telemetry
+        self.degradation = degradation
+        if self.degradation is not None and self.degradation.telemetry is NULL:
+            self.degradation.telemetry = self.telemetry
+        self._degraded_codec: SegmentCodec | None = None
         self.extractor = SegmentExtractor(
             self.modems, self.sample_rate_hz, telemetry=self.telemetry
         )
@@ -195,12 +216,24 @@ class GalioTGateway:
             raw_bits = len(samples) * 2 * 8
         return samples, raw_bits
 
+    # Fixed metadata-only wire cost: a 16-byte segment header plus one
+    # 32-byte record (start, length, rate, score, technology tag) per
+    # detection. No I/Q leaves the gateway at this degradation level.
+    _METADATA_HEADER_BITS = 8 * 16
+    _METADATA_EVENT_BITS = 8 * 32
+
     def ship_segment(self, segment: Segment, report: GatewayReport) -> None:
         """Run one segment through edge -> compress -> backhaul.
 
         Mutates ``report`` (edge results, shipped list, bit and drop
         counters). Shared by the monolithic and streaming fronts so
         their accounting is identical by construction.
+
+        With a plain :class:`BackhaulLink`, overload drops the segment
+        (counted). With a :class:`ResilientBackhaul`, refusals spill and
+        retry; the only loss is an explicit drop-policy eviction, and
+        deliveries (including older spilled segments that just got
+        through) are folded into ``report`` as they happen.
         """
         ship = True
         if self.edge is not None:
@@ -209,19 +242,86 @@ class GalioTGateway:
             ship = outcome.ship_to_cloud
         if not ship:
             return
-        compressed, stats = self.codec.compress(segment)
+        at_time = segment.start / self.sample_rate_hz
+        resilient = isinstance(self.backhaul, ResilientBackhaul)
+        level = DegradationLadder.FULL
+        if self.degradation is not None and resilient:
+            level = self.degradation.observe(self.backhaul.pressure(at_time))
+        stats = None
+        if level >= DegradationLadder.METADATA:
+            n_bits = self._METADATA_HEADER_BITS + self._METADATA_EVENT_BITS * max(
+                1, len(segment.detections)
+            )
+            payload = None
+            metadata_only = True
+        else:
+            codec = self.codec if level == DegradationLadder.FULL else self._degraded()
+            compressed, stats = codec.compress(segment)
+            n_bits = compressed.n_bits
+            payload = segment
+            metadata_only = False
+        if resilient:
+            score = max((e.score for e in segment.detections), default=0.0)
+            outcome = self.backhaul.ship(
+                n_bits,
+                at_time,
+                score=score,
+                payload=payload,
+                metadata_only=metadata_only,
+            )
+            if outcome.status == "spilled":
+                self.telemetry.count("gateway.spilled_segments")
+            self.account_deliveries(outcome.delivered, outcome.evicted, report)
+            if stats is not None and outcome.status == "delivered":
+                self.telemetry.gauge("gateway.last_compression_ratio", stats.ratio)
+            return
         if self.backhaul is not None:
             try:
-                self.backhaul.ship(compressed.n_bits, segment.start / self.sample_rate_hz)
+                self.backhaul.ship(n_bits, at_time)
             except CapacityError:
                 report.dropped_segments += 1
                 self.telemetry.count("gateway.dropped_segments")
                 return
-        report.shipped_bits += compressed.n_bits
+        report.shipped_bits += n_bits
         report.shipped.append(segment)
         self.telemetry.count("gateway.shipped_segments")
-        self.telemetry.count("gateway.shipped_bits", compressed.n_bits)
-        self.telemetry.gauge("gateway.last_compression_ratio", stats.ratio)
+        self.telemetry.count("gateway.shipped_bits", n_bits)
+        if stats is not None:
+            self.telemetry.gauge("gateway.last_compression_ratio", stats.ratio)
+
+    def _degraded(self) -> SegmentCodec:
+        """The ladder's level-1 codec: half the rails' bits, max effort."""
+        if self._degraded_codec is None:
+            self._degraded_codec = SegmentCodec(
+                bits=min(self.codec.bits, 4), level=9, telemetry=self.telemetry
+            )
+        return self._degraded_codec
+
+    def account_deliveries(
+        self,
+        delivered: tuple[SpillEntry, ...] | list[SpillEntry],
+        evicted: tuple[SpillEntry, ...] | list[SpillEntry],
+        report: GatewayReport,
+    ) -> None:
+        """Fold resilient-backhaul deliveries/evictions into a report.
+
+        A delivered entry becomes a shipped segment (or a degraded,
+        metadata-only ship); an evicted entry is the drop policy's
+        explicit loss and lands in ``dropped_segments``.
+        """
+        for entry in delivered:
+            report.shipped_bits += entry.n_bits
+            if entry.metadata_only:
+                report.degraded_segments += 1
+                self.telemetry.count("gateway.degraded_segments")
+                self.telemetry.count("gateway.shipped_bits", entry.n_bits)
+            else:
+                report.shipped.append(entry.payload)
+                self.telemetry.count("gateway.shipped_segments")
+                self.telemetry.count("gateway.shipped_bits", entry.n_bits)
+        for _ in evicted:
+            report.dropped_segments += 1
+            self.telemetry.count("gateway.dropped_segments")
 
     @iq_contract("capture")
     def process(
@@ -236,4 +336,9 @@ class GalioTGateway:
             report.segments = self.extractor.extract(samples, report.events)
             for segment in report.segments:
                 self.ship_segment(segment, report)
+            if isinstance(self.backhaul, ResilientBackhaul):
+                delivered = self.backhaul.drain(
+                    len(samples) / self.sample_rate_hz
+                )
+                self.account_deliveries(delivered, (), report)
         return report

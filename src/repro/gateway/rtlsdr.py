@@ -15,6 +15,7 @@ detectors operate on.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -26,6 +27,9 @@ from ..dsp.impairments import (
     quantize,
 )
 from ..errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from ..faults import FaultPlan
 
 __all__ = ["RtlSdrConfig", "RtlSdrModel"]
 
@@ -68,10 +72,34 @@ class RtlSdrConfig:
 
 
 class RtlSdrModel:
-    """Applies the RTL-SDR signal path to a clean baseband stream."""
+    """Applies the RTL-SDR signal path to a clean baseband stream.
 
-    def __init__(self, config: RtlSdrConfig | None = None):
+    Args:
+        config: Front-end parameters.
+        faults: Optional :class:`~repro.faults.FaultPlan` whose
+            ``sample_gaps`` are applied to the capture (zeroed ranges,
+            modelling USB drops / front-end dropouts). Gap positions are
+            absolute stream samples: the model keeps a cursor across
+            successive :meth:`capture` calls so chunked (streaming) and
+            monolithic captures see identical dropouts; call
+            :meth:`reset_stream` between streams. ``None`` (default)
+            costs a single ``is None`` check.
+    """
+
+    def __init__(
+        self,
+        config: RtlSdrConfig | None = None,
+        faults: "FaultPlan | None" = None,
+    ):
         self.config = config or RtlSdrConfig()
+        self.faults = faults
+        self._cursor = 0
+        self.dropped_samples = 0
+
+    def reset_stream(self) -> None:
+        """Rewind the absolute-sample cursor used for fault placement."""
+        self._cursor = 0
+        self.dropped_samples = 0
 
     @property
     def cfo_hz(self) -> float:
@@ -107,11 +135,27 @@ class RtlSdrModel:
             )
         rms = float(np.sqrt(np.mean(np.abs(y) ** 2))) if len(y) else 0.0
         if rms <= 0:
+            self._cursor += len(x)
             return np.zeros_like(x)
         full_scale = rms * (10 ** (cfg.agc_headroom_db / 20))
         if cfg.dc_offset:
             y = apply_dc_offset(y, cfg.dc_offset * full_scale)
-        return quantize(y, cfg.adc_bits, full_scale)
+        out = quantize(y, cfg.adc_bits, full_scale)
+        if self.faults is not None:
+            out = self._apply_gaps(out)
+        self._cursor += len(x)
+        return out
+
+    def _apply_gaps(self, out: np.ndarray) -> np.ndarray:
+        """Zero the scheduled dropout ranges overlapping this capture."""
+        lo = self._cursor
+        hi = lo + len(out)
+        for gap in self.faults.gaps_overlapping(lo, hi):
+            a = max(gap.start, lo) - lo
+            b = min(gap.end, hi) - lo
+            out[a:b] = 0
+            self.dropped_samples += b - a
+        return out
 
     def bits_per_second_raw(self) -> float:
         """Backhaul cost of shipping the raw stream (2 rails x adc_bits)."""

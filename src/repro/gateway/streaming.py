@@ -60,6 +60,7 @@ from ..telemetry import Telemetry
 from ..types import DetectionEvent, DetectorLike, Segment
 from .detection import EnergyDetector, PreambleBankDetector
 from .gateway import GalioTGateway, GatewayReport
+from .resilience import ResilientBackhaul
 from .universal import UniversalPreambleDetector
 
 __all__ = ["StreamingGateway", "detector_context", "iter_chunks"]
@@ -132,6 +133,15 @@ class StreamingGateway:
             from the chunk that completed it). Wire it to a cloud
             service — e.g. ``ParallelCloudService.submit`` — to fan
             decoding out while the stream is still arriving.
+
+            Exception policy: a raising hook never corrupts gateway
+            window state — the segment is already extracted, shipped
+            and accounted before the hook runs. The error is counted as
+            ``gateway.hook_errors`` and re-raised, unless
+            ``fault_tolerant`` is set, in which case the stream carries
+            on without it.
+        fault_tolerant: Swallow (but count) ``on_shipped`` hook errors
+            instead of re-raising them.
     """
 
     def __init__(
@@ -139,18 +149,23 @@ class StreamingGateway:
         gateway: GalioTGateway,
         telemetry: Telemetry | None = None,
         on_shipped: Callable[[Segment], None] | None = None,
+        fault_tolerant: bool = False,
     ):
         self.gateway = gateway
         self.telemetry = (
             telemetry if telemetry is not None else gateway.telemetry
         )
         self.on_shipped = on_shipped
+        self.fault_tolerant = bool(fault_tolerant)
         self.context = detector_context(gateway.detector)
         self.min_distance = int(getattr(gateway.detector, "min_distance", 0))
         self.reset()
 
     def reset(self) -> None:
         """Forget all carried state; ready for a new stream."""
+        front_end = self.gateway.front_end
+        if front_end is not None and hasattr(front_end, "reset_stream"):
+            front_end.reset_stream()
         self._pos = 0  # absolute index of the next sample to arrive
         self._buffer = np.zeros(0, dtype=complex)
         self._buf_start = 0  # absolute index of _buffer[0]
@@ -212,6 +227,7 @@ class StreamingGateway:
                 report.events.append(event)
                 self._feed_extractor(event)
             self._close_ready(report, final=False)
+            self._flush_backhaul(report, final=False)
             self._trim_buffer()
         self.telemetry.count("stream.chunks")
         self.telemetry.count("stream.samples_in", len(chunk))
@@ -240,6 +256,7 @@ class StreamingGateway:
                 report.events.append(event)
                 self._feed_extractor(event)
             self._close_ready(report, final=True)
+            self._flush_backhaul(report, final=True)
         return report
 
     # -- detection --------------------------------------------------------
@@ -495,9 +512,48 @@ class StreamingGateway:
             report.segments.append(segment)
             shipped_before = len(report.shipped)
             self.gateway.ship_segment(segment, report)
-            if self.on_shipped is not None and len(report.shipped) > shipped_before:
-                self.on_shipped(segment)
+            # A resilient backhaul may deliver *older* spilled segments
+            # alongside (or instead of) the one just closed — notify the
+            # hook for every newly shipped segment, in delivery order.
+            for shipped in report.shipped[shipped_before:]:
+                self._notify_shipped(shipped)
             self.telemetry.count("stream.segments")
+
+    def _notify_shipped(self, segment: Segment) -> None:
+        """Invoke ``on_shipped`` under the documented exception policy.
+
+        Gateway state (windows, buffers, accounting) is fully updated
+        before the hook runs, so a raising hook can never corrupt it:
+        the error is counted, then re-raised unless ``fault_tolerant``.
+        """
+        if self.on_shipped is None:
+            return
+        try:
+            self.on_shipped(segment)
+        except Exception:
+            self.telemetry.count("gateway.hook_errors")
+            if not self.fault_tolerant:
+                raise
+
+    def _flush_backhaul(self, report: GatewayReport, final: bool) -> None:
+        """Retry the resilient backhaul's spill buffer at stream time.
+
+        Per chunk, due retries go out even when the chunk closed no
+        windows; at finalize, everything still spilled is retried once
+        more (an outage outlasting the stream keeps its entries spilled,
+        not lost).
+        """
+        backhaul = self.gateway.backhaul
+        if not isinstance(backhaul, ResilientBackhaul):
+            return
+        now = self._pos / self.gateway.sample_rate_hz
+        delivered = backhaul.drain(now) if final else backhaul.flush(now)
+        if not delivered:
+            return
+        shipped_before = len(report.shipped)
+        self.gateway.account_deliveries(delivered, (), report)
+        for shipped in report.shipped[shipped_before:]:
+            self._notify_shipped(shipped)
 
     # -- buffer management ------------------------------------------------
 
