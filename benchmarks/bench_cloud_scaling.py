@@ -37,6 +37,7 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.cloud import CloudService, ParallelCloudService  # noqa: E402
+from repro.dsp.fastcorr import set_fastcorr  # noqa: E402
 from repro.dsp.resample import (  # noqa: E402
     clear_resample_plan_cache,
     resample_plan_cache_info,
@@ -141,10 +142,20 @@ def main(argv: list[str] | None = None) -> int:
 
     rng = np.random.default_rng(0xC0FFEE)
     modems, segments = build_segments(n_segments, payload_len, rng)
+    cpu_count = os.cpu_count() or 1
+    underprovisioned = cpu_count < max(worker_counts)
     print(
         f"fixture: {n_segments} segments, {len(modems)} technologies, "
-        f"cpu_count={os.cpu_count()}"
+        f"cpu_count={cpu_count}"
     )
+    if underprovisioned:
+        print(
+            f"WARNING: cpu_count={cpu_count} < max workers "
+            f"{max(worker_counts)} — parallel 'speedups' below are "
+            "scheduling noise, not scaling; rerun on a bigger box "
+            "for the headline numbers",
+            file=sys.stderr,
+        )
 
     # Serial reference (plan cache on — the shipping configuration).
     clear_resample_plan_cache()
@@ -155,6 +166,22 @@ def main(argv: list[str] | None = None) -> int:
     serial_rate = n_segments / t_serial
     print(f"serial           : {t_serial:7.2f} s  {serial_rate:6.3f} seg/s "
           f"(plan cache: {cache_info.hits} hits / {cache_info.misses} misses)")
+
+    # Serial with the shared-FFT engine off (the pre-engine hot path).
+    # Decode results must be equivalent — the engine is a performance
+    # lever, never a behaviour change — and this assertion is what the
+    # CI smoke job runs under GALIOT_SANITIZE=raise.
+    set_fastcorr(False)
+    try:
+        eng_results, _eng_stats, t_engine_off = run_serial(modems, segments)
+    finally:
+        set_fastcorr(True)
+    engine_equivalent = eng_results == ref_results
+    fastcorr_speedup = t_engine_off / t_serial
+    print(f"serial (eng. off): {t_engine_off:7.2f} s  "
+          f"{n_segments / t_engine_off:6.3f} seg/s "
+          f"-> fastcorr speedup {fastcorr_speedup:.3f}x, "
+          f"identical={engine_equivalent}")
 
     # Serial with the plan cache bypassed (the pre-cache hot path).
     set_resample_plan_cache(False)
@@ -169,7 +196,7 @@ def main(argv: list[str] | None = None) -> int:
           f"identical={cache_equivalent}")
 
     parallel_rows = []
-    equivalence_ok = cache_equivalent
+    equivalence_ok = cache_equivalent and engine_equivalent
     for workers in worker_counts:
         results, stats, elapsed = run_parallel(
             modems, segments, workers, args.executor
@@ -194,22 +221,34 @@ def main(argv: list[str] | None = None) -> int:
 
     payload = {
         "bench": "cloud_scaling",
-        "schema": 1,
+        "schema": 2,
         "smoke": bool(args.smoke),
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
+        "underprovisioned": underprovisioned,
         "n_segments": n_segments,
         "technologies": [m.name for m in modems],
         "serial": {"seconds": t_serial, "segments_per_sec": serial_rate},
+        "serial_engine_off": {
+            "seconds": t_engine_off,
+            "segments_per_sec": n_segments / t_engine_off,
+        },
+        "fastcorr_speedup": fastcorr_speedup,
         "serial_no_plan_cache": {
             "seconds": t_nocache,
             "segments_per_sec": n_segments / t_nocache,
         },
         "plan_cache_speedup": plan_cache_speedup,
         "parallel": parallel_rows,
+        "engine_equivalence_ok": engine_equivalent,
         "equivalence_ok": equivalence_ok,
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")
+    if not engine_equivalent:
+        print(
+            "ERROR: engine-on/off decode results diverged", file=sys.stderr
+        )
+        return 1
     if not equivalence_ok:
         print("ERROR: parallel/serial results diverged", file=sys.stderr)
         return 1

@@ -6,6 +6,18 @@ classifier correlates the segment against every registered technology's
 sync waveform and returns the candidates above threshold, each with a
 start estimate and a least-squares amplitude estimate — the power
 ordering Algorithm 1 keys on.
+
+Correlation runs on the shared-FFT engine (:mod:`repro.dsp.fastcorr`):
+modems are grouped by ``(native rate, correlation stride)`` and each
+group owns one persistent :class:`~repro.dsp.fastcorr.TemplateBank`
+holding every member's coherent sync sub-blocks, so one
+:func:`~repro.dsp.fastcorr.correlate_many` call per group shares a
+single forward FFT per overlap-save segment across every technology in
+the group — and the conjugate template spectra, cached on the bank, are
+paid once per FFT length rather than once per segment per SIC
+iteration. With ``GALIOT_FASTCORR=off`` the engine falls back to one
+``fftconvolve`` per sub-block, bit-identical to the historical
+per-modem :func:`~repro.gateway.detection.matched_filter_track` loop.
 """
 
 from __future__ import annotations
@@ -16,10 +28,12 @@ import numpy as np
 
 from ..contracts import iq_contract
 from ..dsp.correlation import find_peaks_above
+from ..dsp.fastcorr import TemplateBank, correlate_many
 from ..dsp.resample import NativeRateCache, to_rate
 from ..errors import ConfigurationError
-from ..gateway.detection import cfar_threshold, matched_filter_track
+from ..gateway.detection import cfar_threshold
 from ..phy.base import Modem
+from ..telemetry import NULL, Telemetry
 
 __all__ = ["ClassifiedSignal", "SegmentClassifier"]
 
@@ -52,6 +66,20 @@ class ClassifiedSignal:
         return float(abs(self.amplitude) ** 2)
 
 
+@dataclass
+class _Ref:
+    """Precomputed per-modem classification state."""
+
+    modem: Modem
+    ref: np.ndarray  # full-rate sync reference
+    tpl: np.ndarray  # strided correlation template
+    stride: int
+    block: int | None  # coherent block length at template rate
+    ref_energy: float
+    tpl_norm: float
+    offsets: list[int]  # coherent sub-block offsets into ``tpl``
+
+
 class SegmentClassifier:
     """Finds which technologies (and where) live inside a segment.
 
@@ -62,6 +90,7 @@ class SegmentClassifier:
         max_per_technology: Cap on same-technology frames per segment
             (each extra candidate costs the decoder a decode attempt,
             and same-technology collisions inside one segment are rare).
+        telemetry: Metrics sink threaded into the correlation engine.
     """
 
     def __init__(
@@ -70,6 +99,7 @@ class SegmentClassifier:
         sample_rate_hz: float,
         k: float = 8.0,
         max_per_technology: int = 2,
+        telemetry: Telemetry = NULL,
     ):
         if not modems:
             raise ConfigurationError("at least one modem is required")
@@ -77,23 +107,63 @@ class SegmentClassifier:
         self.sample_rate_hz = float(sample_rate_hz)
         self.k = float(k)
         self.max_per_technology = int(max_per_technology)
+        self.telemetry = telemetry
         # Precompute per-modem sync references once: classify() runs
         # repeatedly (Algorithm 1 re-classifies after every
         # cancellation) and regenerating long waveforms dominates.
-        self._refs: list[tuple[Modem, np.ndarray, np.ndarray, int, int | None, float]] = []
+        self._refs: list[_Ref] = []
         for modem in self.modems:
-            ref = (
-                modem.sync_waveform()
-                if hasattr(modem, "sync_waveform")
-                else modem.preamble_waveform()
-            )
+            ref = modem.sync_reference()
             stride = max(int(modem.sync_decimation), 1)
             tpl = ref[::stride] if stride > 1 else ref
             block = modem.sync_block
             if block is not None and stride > 1:
                 block = max(block // stride, 8)
-            ref_energy = float(np.sum(np.abs(ref) ** 2))
-            self._refs.append((modem, ref, tpl, stride, block, ref_energy))
+            tpl_norm = float(np.sqrt(np.sum(np.abs(tpl) ** 2)))
+            if tpl_norm <= 0:
+                raise ConfigurationError(
+                    f"{modem.name}: sync template has zero energy"
+                )
+            if block is None:
+                offsets = [0]
+            else:
+                offsets = [
+                    b * block for b in range(-(-len(tpl) // block))
+                ]
+            self._refs.append(
+                _Ref(
+                    modem=modem,
+                    ref=ref,
+                    tpl=tpl,
+                    stride=stride,
+                    block=block,
+                    ref_energy=float(np.sum(np.abs(ref) ** 2)),
+                    tpl_norm=tpl_norm,
+                    offsets=offsets,
+                )
+            )
+        # One persistent bank per (native rate, stride) group: every
+        # modem in a group correlates against the *same* decimated
+        # residual, so their sub-block templates share one forward FFT
+        # per overlap-save segment, and the conjugate template spectra
+        # (cached on the bank per FFT length) survive across segments
+        # and SIC iterations. Keys are ``(ref_index, block_offset)``.
+        self._groups: dict[tuple[float, int], list[int]] = {}
+        for index, entry in enumerate(self._refs):
+            key = (float(entry.modem.sample_rate), entry.stride)
+            self._groups.setdefault(key, []).append(index)
+        self._banks: dict[tuple[float, int], TemplateBank] = {}
+        for key, indices in self._groups.items():
+            templates = {
+                (index, offset): self._refs[index].tpl[
+                    offset : offset + self._refs[index].block
+                ]
+                if self._refs[index].block is not None
+                else self._refs[index].tpl
+                for index in indices
+                for offset in self._refs[index].offsets
+            }
+            self._banks[key] = TemplateBank(templates)
 
     @staticmethod
     def _estimate_center(window: np.ndarray, sample_rate_hz: float) -> float:
@@ -116,6 +186,29 @@ class SegmentClassifier:
         freqs = np.fft.fftfreq(len(window), 1.0 / sample_rate_hz)
         return float(np.sum(spectrum * freqs) / total)
 
+    def _track(
+        self,
+        entry: _Ref,
+        tracks: dict[tuple[int, int], np.ndarray],
+        index: int,
+        sig_len: int,
+    ) -> np.ndarray:
+        """Combine one modem's sub-block correlations into a score track.
+
+        Replicates :func:`~repro.gateway.detection.matched_filter_track`
+        exactly: coherent blocks combine non-coherently (sum of
+        magnitude squares, CFO tolerance), normalized by the template
+        norm.
+        """
+        out_len = sig_len - len(entry.tpl) + 1
+        if entry.block is None:
+            return np.abs(tracks[(index, 0)]) / entry.tpl_norm
+        acc = np.zeros(out_len)
+        for offset in entry.offsets:
+            corr = np.abs(tracks[(index, offset)])
+            acc += corr[offset : offset + out_len] ** 2
+        return np.sqrt(acc) / entry.tpl_norm
+
     @iq_contract("samples")
     def classify(
         self, samples: np.ndarray, rates: NativeRateCache | None = None
@@ -129,39 +222,69 @@ class SegmentClassifier:
                 repeated classify/decode/kill calls in a single
                 iteration resample the residual once per distinct rate.
         """
-        found: list[ClassifiedSignal] = []
-        for modem, ref, tpl, stride, block, ref_energy in self._refs:
+        # Candidates per registered modem, so the final list preserves
+        # registration-order appends regardless of group iteration.
+        per_ref: dict[int, list[ClassifiedSignal]] = {}
+        for (rate, stride), indices in self._groups.items():
             if rates is not None:
-                native = rates.view(modem.sample_rate)
+                native = rates.view(rate)
             else:
-                native = to_rate(samples, self.sample_rate_hz, modem.sample_rate)
-            if len(ref) > len(native):
-                continue
+                native = to_rate(samples, self.sample_rate_hz, rate)
             # Spread-spectrum references correlate at a stride (the
             # modem's fine sync absorbs the timing quantization).
             sig = native[::stride] if stride > 1 else native
-            track = matched_filter_track(sig, tpl, block=block)
-            threshold = cfar_threshold(track, self.k)
-            min_dist = max(len(tpl) // 2, 1)
-            peaks = find_peaks_above(track, threshold, min_dist)
-            peaks = sorted(peaks, key=lambda i: track[i], reverse=True)
-            for idx in peaks[: self.max_per_technology]:
-                start = int(idx) * stride
-                window = native[start : start + len(ref)]
-                if len(window) < len(ref):
-                    continue
-                amplitude = complex(
-                    np.sum(np.conj(ref) * window) / ref_energy
-                )
-                found.append(
-                    ClassifiedSignal(
-                        technology=modem.name,
-                        start=start,
-                        score=float(track[idx]),
-                        amplitude=amplitude,
-                        center_hz=self._estimate_center(
-                            window, modem.sample_rate
-                        ),
+            live = [
+                index
+                for index in indices
+                if len(self._refs[index].ref) <= len(native)
+            ]
+            if not live:
+                continue
+            keys = [
+                (index, offset)
+                for index in live
+                for offset in self._refs[index].offsets
+            ]
+            tracks = correlate_many(
+                sig, self._banks[(rate, stride)], keys,
+                telemetry=self.telemetry,
+            )
+            for index in live:
+                entry = self._refs[index]
+                track = self._track(entry, tracks, index, len(sig))
+                threshold = cfar_threshold(track, self.k)
+                min_dist = max(len(entry.tpl) // 2, 1)
+                peaks = find_peaks_above(track, threshold, min_dist)
+                # Pin the tie order (score desc, then index asc): equal
+                # scores must not depend on the peak finder's return
+                # order, or the engine-on/off equivalence gate would
+                # pass or fail on suppression-order accidents.
+                peaks = sorted(peaks, key=lambda i: (-track[i], i))
+                candidates: list[ClassifiedSignal] = []
+                for idx in peaks[: self.max_per_technology]:
+                    start = int(idx) * entry.stride
+                    window = native[start : start + len(entry.ref)]
+                    if len(window) < len(entry.ref):
+                        continue
+                    amplitude = complex(
+                        np.sum(np.conj(entry.ref) * window)
+                        / entry.ref_energy
                     )
-                )
+                    candidates.append(
+                        ClassifiedSignal(
+                            technology=entry.modem.name,
+                            start=start,
+                            score=float(track[idx]),
+                            amplitude=amplitude,
+                            center_hz=self._estimate_center(
+                                window, entry.modem.sample_rate
+                            ),
+                        )
+                    )
+                per_ref[index] = candidates
+        found = [
+            candidate
+            for index in range(len(self._refs))
+            for candidate in per_ref.get(index, [])
+        ]
         return sorted(found, key=lambda c: c.power, reverse=True)

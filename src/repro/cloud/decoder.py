@@ -94,7 +94,9 @@ class CloudDecoder:
         self.use_kill_filters = use_kill_filters
         self.strict_order = strict_order
         self.max_iterations = int(max_iterations)
-        self.classifier = SegmentClassifier(modems, sample_rate_hz, k=classifier_k)
+        self.classifier = SegmentClassifier(
+            modems, sample_rate_hz, k=classifier_k, telemetry=telemetry
+        )
         self.telemetry = telemetry
 
     @classmethod
@@ -226,7 +228,8 @@ class CloudDecoder:
             strongest = open_candidates[0]
             modem = self.modems[strongest.technology]
             frame = try_decode(
-                modem, working, self.sample_rate_hz, rates=rates
+                modem, working, self.sample_rate_hz, rates=rates,
+                telemetry=self.telemetry,
             )
             if frame is not None and not any(
                 self._same_frame(r, frame.start, strongest.technology)
@@ -283,7 +286,10 @@ class CloudDecoder:
                     if filtered is None:
                         continue
                     report.kill_invocations += 1
-                    frame = try_decode(modem, filtered, self.sample_rate_hz)
+                    frame = try_decode(
+                        modem, filtered, self.sample_rate_hz,
+                        telemetry=self.telemetry,
+                    )
                     if frame is not None and any(
                         self._same_frame(r, frame.start, strongest.technology)
                         for r in report.results

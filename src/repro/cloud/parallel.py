@@ -70,14 +70,17 @@ from concurrent.futures import (
     TimeoutError as FutureTimeoutError,
 )
 from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
 from typing import Any
+
+import numpy as np
 
 from ..errors import ConfigurationError, InjectedCrash
 from ..faults import FaultPlan
 from ..gateway.compression import CompressedSegment, SegmentCodec
 from ..phy.base import Modem
 from ..telemetry import NULL, Telemetry
-from ..types import DecodeResult, Segment
+from ..types import DecodeResult, DetectionEvent, Segment
 from .pipeline import CloudService, CloudStats
 
 __all__ = ["CloudResilience", "QuarantinedSegment", "ParallelCloudService"]
@@ -125,6 +128,58 @@ class QuarantinedSegment:
     requeues: int
 
 
+#: Segments below this many samples are pickled to process workers: the
+#: shared-memory round trip (create + copy + attach) costs two syscalls
+#: and a page-table walk, which only pays for itself on buffers big
+#: enough that pickle's serialize/deserialize copies dominate.
+SHM_MIN_SAMPLES = 8192
+
+
+@dataclass(frozen=True)
+class _ShmSegment:
+    """Wire descriptor for a segment whose samples live in shared memory.
+
+    What crosses the pickle boundary instead of the I/Q buffer: the
+    block name plus the metadata needed to rebuild the
+    :class:`~repro.types.Segment` around a zero-copy view. The *parent*
+    owns the block's lifetime — it creates, registers and unlinks; the
+    worker only attaches, reads and closes. (With the default ``fork``
+    start method the workers share the parent's resource tracker, so the
+    attach-side registration is a set no-op and the parent's single
+    unlink leaves the tracker clean.)
+    """
+
+    shm_name: str
+    length: int
+    dtype: str
+    start: int
+    sample_rate: float
+    detections: list[DetectionEvent] = field(default_factory=list)
+
+
+def _attach_shm_segment(
+    wire: _ShmSegment,
+) -> tuple[shared_memory.SharedMemory, Segment]:
+    """Rebuild a :class:`~repro.types.Segment` over the shared block.
+
+    The returned samples are a read-only, zero-copy view of the block
+    (the decoder copies into its working buffer anyway, and fault
+    corruption returns fresh arrays) — the caller must drop the Segment
+    before closing the handle or ``close()`` raises ``BufferError``.
+    """
+    shm = shared_memory.SharedMemory(name=wire.shm_name)
+    samples = np.ndarray(
+        (wire.length,), dtype=np.dtype(wire.dtype), buffer=shm.buf
+    )
+    samples.flags.writeable = False
+    return shm, Segment(
+        start=wire.start,
+        samples=samples,
+        sample_rate=wire.sample_rate,
+        detections=wire.detections,
+    )
+
+
 @dataclass(frozen=True)
 class _WorkerConfig:
     """Everything a worker needs to rebuild the serial service."""
@@ -168,7 +223,9 @@ _WorkerResult = tuple[list[DecodeResult], CloudStats, dict[str, dict[str, Any]]]
 
 
 def _run_one(
-    payload: Segment | CompressedSegment, seq: int, submission: int
+    payload: Segment | CompressedSegment | _ShmSegment,
+    seq: int,
+    submission: int,
 ) -> _WorkerResult:
     """Decode one segment in a worker; return (results, stats, telemetry).
 
@@ -177,34 +234,53 @@ def _run_one(
     — the two axes a :class:`~repro.faults.FaultPlan` keys its worker
     faults on.
     """
-    service: CloudService = _worker.service
-    telemetry: Telemetry = _worker.telemetry
-    faults: FaultPlan | None = getattr(_worker, "faults", None)
-    if faults is not None:
-        faults.apply_in_worker(seq, submission, _worker.is_process)
-        if isinstance(payload, Segment):
-            payload = Segment(
-                start=payload.start,
-                samples=faults.corrupt_samples(seq, payload.samples),
-                sample_rate=payload.sample_rate,
-                detections=payload.detections,
-            )
+    shm = None
+    if isinstance(payload, _ShmSegment):
+        shm, payload = _attach_shm_segment(payload)
+    try:
+        service: CloudService = _worker.service
+        telemetry: Telemetry = _worker.telemetry
+        faults: FaultPlan | None = getattr(_worker, "faults", None)
+        if faults is not None:
+            faults.apply_in_worker(seq, submission, _worker.is_process)
+            if isinstance(payload, Segment):
+                payload = Segment(
+                    start=payload.start,
+                    samples=faults.corrupt_samples(seq, payload.samples),
+                    sample_rate=payload.sample_rate,
+                    detections=payload.detections,
+                )
+            else:
+                payload = CompressedSegment(
+                    blob=faults.corrupt_blob(seq, payload.blob)
+                )
+        service.stats = CloudStats()
+        telemetry.reset()
+        if isinstance(payload, CompressedSegment):
+            results = service.process_compressed(payload)
         else:
-            payload = CompressedSegment(
-                blob=faults.corrupt_blob(seq, payload.blob)
-            )
-    service.stats = CloudStats()
-    telemetry.reset()
-    if isinstance(payload, CompressedSegment):
-        results = service.process_compressed(payload)
-    else:
-        results = service.process_segment(payload)
-    return results, service.stats, telemetry.snapshot()
+            results = service.process_segment(payload)
+        return results, service.stats, telemetry.snapshot()
+    finally:
+        if shm is not None:
+            # The zero-copy view must die before the handle closes.
+            del payload
+            try:
+                shm.close()
+            except BufferError:
+                pass  # a stray view keeps the mapping; GC closes it
 
 
 @dataclass
 class _Pending:
-    """Parent-side bookkeeping for one in-flight segment."""
+    """Parent-side bookkeeping for one in-flight segment.
+
+    ``payload`` is always the caller's original segment (what retries
+    re-decode and quarantine preserves); ``wire``/``shm`` are set when
+    its samples were staged into a shared-memory block, in which case
+    the descriptor is what crosses the pool boundary and the parent
+    unlinks the block once the segment is finished or given up on.
+    """
 
     seq: int
     payload: Segment | CompressedSegment
@@ -213,6 +289,8 @@ class _Pending:
     attempts: int = 0
     requeues: int = 0
     timed_out: bool = False
+    wire: _ShmSegment | None = None
+    shm: shared_memory.SharedMemory | None = None
 
 
 class ParallelCloudService:
@@ -281,6 +359,12 @@ class ParallelCloudService:
         self._seq = 0
         self._submissions = 0
         self._closed = False
+        if executor == "process":
+            # Start the resource tracker *before* the pool forks workers
+            # so every worker inherits the parent's tracker: attach-side
+            # registrations then dedupe against the parent's and the
+            # single unlink here leaves nothing for trackers to clean.
+            resource_tracker.ensure_running()
         self._pool = self._make_pool()
         self._pending: list[_Pending] = []
 
@@ -331,13 +415,63 @@ class ParallelCloudService:
         submission = self._submissions
         self._submissions += 1
         item.generation = self._generation
-        return self._pool.submit(_run_one, item.payload, item.seq, submission)
+        wire = item.wire if item.wire is not None else item.payload
+        return self._pool.submit(_run_one, wire, item.seq, submission)
+
+    def _stage_shm(self, item: _Pending) -> None:
+        """Stage a big segment's samples into a shared-memory block.
+
+        Process workers then receive a tiny pickled descriptor instead
+        of a multi-megabyte serialized ndarray. Anything that cannot or
+        should not be staged — thread pools (already zero-copy), small
+        segments, compressed blobs (decompressed worker-side), or an
+        exhausted ``/dev/shm`` — silently keeps the pickle path, which
+        decodes identically.
+        """
+        if self.executor_kind != "process":
+            return
+        if not isinstance(item.payload, Segment):
+            return
+        samples = np.ascontiguousarray(item.payload.samples)
+        if len(samples) < SHM_MIN_SAMPLES:
+            return
+        try:
+            shm = shared_memory.SharedMemory(create=True, size=samples.nbytes)
+        except OSError:
+            self.telemetry.count("cloud.parallel.shm_fallbacks")
+            return
+        np.ndarray(samples.shape, dtype=samples.dtype, buffer=shm.buf)[
+            :
+        ] = samples
+        item.shm = shm
+        item.wire = _ShmSegment(
+            shm_name=shm.name,
+            length=len(samples),
+            dtype=str(samples.dtype),
+            start=item.payload.start,
+            sample_rate=item.payload.sample_rate,
+            detections=item.payload.detections,
+        )
+        self.telemetry.count("cloud.parallel.shm_segments")
+
+    def _release_shm(self, item: _Pending) -> None:
+        """Drop a finished item's shared block (parent owns the unlink)."""
+        if item.shm is None:
+            return
+        try:
+            item.shm.close()
+            item.shm.unlink()
+        except OSError:
+            pass  # already gone (e.g. /dev/shm purged underneath us)
+        item.shm = None
+        item.wire = None
 
     def _enqueue(self, payload: Segment | CompressedSegment) -> None:
         item = _Pending(
             seq=self._seq, payload=payload, future=None, generation=self._generation
         )
         self._seq += 1
+        self._stage_shm(item)
         self._dispatch(item)
         self._pending.append(item)
         self.telemetry.count("cloud.parallel.submitted")
@@ -367,6 +501,26 @@ class ParallelCloudService:
         pending, self._pending = self._pending, []
         queue = deque(pending)
         done: dict[int, _WorkerResult] = {}
+        try:
+            self._drain_queue(queue, done)
+        except BaseException:
+            # The propagate_errors escape hatch (or a KeyboardInterrupt)
+            # must not leak /dev/shm blocks of the abandoned queue.
+            for item in queue:
+                self._release_shm(item)
+            raise
+        merged: list[DecodeResult] = []
+        for seq in sorted(done):
+            results, stats, snapshot = done[seq]
+            merged.extend(results)
+            self.stats.merge(stats)
+            self.telemetry.absorb_snapshot(snapshot)
+        self.telemetry.count("cloud.parallel.drained", len(done))
+        return merged
+
+    def _drain_queue(
+        self, queue: deque[_Pending], done: dict[int, _WorkerResult]
+    ) -> None:
         with self.telemetry.span("cloud.parallel.drain"):
             while queue:
                 item = queue.popleft()
@@ -374,6 +528,7 @@ class ParallelCloudService:
                     done[item.seq] = item.future.result(
                         timeout=self.resilience.decode_timeout_s
                     )
+                    self._release_shm(item)
                 except FutureTimeoutError:
                     item.future.cancel()
                     item.timed_out = True
@@ -391,6 +546,7 @@ class ParallelCloudService:
                     self._requeue(item, queue, reason=f"worker crash: {exc!r}")
                 except Exception as exc:
                     if self.resilience.propagate_errors:
+                        self._release_shm(item)
                         raise
                     if item.attempts < self.resilience.max_retries:
                         item.attempts += 1
@@ -400,14 +556,11 @@ class ParallelCloudService:
                         queue.append(item)
                     else:
                         self._quarantine(item, f"decode failure: {exc!r}")
-        merged: list[DecodeResult] = []
-        for seq in sorted(done):
-            results, stats, snapshot = done[seq]
-            merged.extend(results)
-            self.stats.merge(stats)
-            self.telemetry.absorb_snapshot(snapshot)
-        self.telemetry.count("cloud.parallel.drained", len(done))
-        return merged
+                except BaseException:
+                    # Not a handled fault class (KeyboardInterrupt, ...):
+                    # release the popped item; drain() sweeps the rest.
+                    self._release_shm(item)
+                    raise
 
     def _requeue(self, item: _Pending, queue: deque, reason: str) -> None:
         """Give a crashed/timed-out submission another trip, bounded."""
@@ -421,6 +574,7 @@ class ParallelCloudService:
             self._quarantine(item, reason)
 
     def _quarantine(self, item: _Pending, reason: str) -> None:
+        self._release_shm(item)
         self.quarantine.append(
             QuarantinedSegment(
                 seq=item.seq,
@@ -463,6 +617,10 @@ class ParallelCloudService:
             self._pool.shutdown(wait=True)
         except Exception:
             self.telemetry.count("cloud.parallel.close_errors")
+        # Undrained submissions' shared blocks die with the farm (the
+        # shutdown above waited for any worker still reading them).
+        for item in self._pending:
+            self._release_shm(item)
 
     def __enter__(self) -> ParallelCloudService:
         return self

@@ -19,11 +19,20 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..contracts import iq_contract
+from ..dsp.fastcorr import TemplateBank, correlate_many, fastcorr_enabled
 from ..dsp.resample import NativeRateCache, to_rate
 from ..errors import ReproError
 from ..phy.base import FrameResult, Modem
+from ..telemetry import NULL, Telemetry
 
 __all__ = ["ReconstructionReport", "reconstruct_and_subtract", "try_decode"]
+
+#: Cap on the alignment-search half-width in segment-rate samples. The
+#: half-width scales with ``sample_rate_hz / modem.sample_rate`` (a
+#: native-rate timing bias spans that many segment samples), but a
+#: pathological rate ratio must not turn the local search into a
+#: full-segment scan.
+MAX_ALIGN_HALF_WIDTH = 512
 
 
 @dataclass(frozen=True)
@@ -46,11 +55,19 @@ def try_decode(
     samples: np.ndarray,
     sample_rate_hz: float,
     rates: NativeRateCache | None = None,
+    telemetry: Telemetry = NULL,
 ) -> FrameResult | None:
     """Attempt a plain decode of ``modem`` on ``samples`` at rate ``sample_rate_hz``.
 
     Returns ``None`` instead of raising when sync or decoding fails or
     the checksum is bad — Algorithm 1 treats all three identically.
+    A modem that leaks a bare exception (``ValueError``/``IndexError``
+    on a heavily-killed residual, say) is also a miss, not a crash: the
+    serial :class:`~repro.cloud.pipeline.CloudService` has no
+    retry/quarantine net under it, so a single brittle demodulator must
+    not take down the whole segment. Such escapes are counted as
+    ``cloud.decode_errors`` in ``telemetry``.
+
     ``rates``, when given, must wrap ``samples`` and supplies the
     memoized native-rate view instead of resampling again.
     """
@@ -62,7 +79,64 @@ def try_decode(
         frame = modem.demodulate(native)
     except ReproError:
         return None
+    except Exception:
+        telemetry.count("cloud.decode_errors")
+        return None
     return frame if frame.crc_ok else None
+
+
+def _align_start(
+    samples: np.ndarray,
+    probe: np.ndarray,
+    start: int,
+    half: int,
+    block: int,
+) -> int:
+    """Best-scoring frame start within ``start +- half`` segment samples.
+
+    Candidates are scored by non-coherent block correlation of ``probe``
+    against the segment (full blocks plus the remainder: a probe shorter
+    than one block would otherwise score 0.0 for every candidate and the
+    search would silently snap to the window edge, smearing short frames
+    instead of cancelling them). Ties keep the earliest candidate.
+
+    With the shared-FFT engine on, all candidates are scored by one
+    :func:`~repro.dsp.fastcorr.correlate_many` call over the probe's
+    blocks — entry ``cand - lo + pos`` of block ``pos``'s correlation
+    track *is* that candidate's block inner product — instead of a
+    Python loop of ``O(half * blocks)`` ``vdot`` calls. Engine off keeps
+    the historical time-domain loop, bit-identical to prior releases at
+    equal rates.
+    """
+    offsets = list(range(0, len(probe), block))
+    lo = max(start - half, 0)
+    hi = min(start + half, len(samples) - len(probe))
+    if hi < lo or not offsets:
+        return start
+    if fastcorr_enabled():
+        bank = TemplateBank(
+            {pos: probe[pos : pos + block] for pos in offsets}
+        )
+        region = samples[lo : hi + len(probe)]
+        tracks = correlate_many(region, bank)
+        metric = np.zeros(hi - lo + 1)
+        for pos in offsets:
+            track = tracks[pos]
+            metric += np.abs(track[pos : pos + len(metric)])
+        return lo + int(np.argmax(metric))
+    best_metric = -1.0
+    best_start = start
+    for cand in range(lo, hi + 1):
+        window = samples[cand : cand + len(probe)]
+        metric = 0.0
+        for pos in offsets:
+            metric += abs(
+                np.vdot(probe[pos : pos + block], window[pos : pos + block])
+            )
+        if metric > best_metric:
+            best_metric = metric
+            best_start = cand
+    return best_start
 
 
 @iq_contract("samples")
@@ -95,23 +169,14 @@ def reconstruct_and_subtract(
     # offsets with non-coherent block correlation and keep the best.
     probe = wave[: min(len(wave), int(8e-3 * sample_rate_hz))]
     block = max(int(0.25e-3 * sample_rate_hz), 128)
-    best_metric = -1.0
-    best_start = start
-    for cand in range(start - 16, start + 17):
-        if cand < 0 or cand + len(probe) > len(samples):
-            continue
-        window = samples[cand : cand + len(probe)]
-        metric = 0.0
-        # Score full blocks plus the remainder: a probe shorter than one
-        # block would otherwise score 0.0 for every candidate and the
-        # search would silently snap to ``start - 16``, smearing short
-        # frames instead of cancelling them.
-        for pos in range(0, len(probe), block):
-            metric += abs(np.vdot(probe[pos : pos + block], window[pos : pos + block]))
-        if metric > best_metric:
-            best_metric = metric
-            best_start = cand
-    start = best_start
+    # The timing bias is native to the *modem's* rate (a chirp peak
+    # lands a few native samples early under CFO), so the search window
+    # must cover that many native samples expressed at the segment
+    # rate; a fixed +-16 is blind past a 16x rate ratio and the
+    # subtraction smears instead of cancelling.
+    ratio = sample_rate_hz / float(modem.sample_rate)
+    half = int(min(max(16, round(16 * ratio)), MAX_ALIGN_HALF_WIDTH))
+    start = _align_start(samples, probe, start, half, block)
     stop = min(start + len(wave), len(samples))
     if stop <= start:
         return samples.copy(), ReconstructionReport(gain=0j, cancelled_db=0.0)

@@ -84,6 +84,13 @@ MAX_SPECTRA_ELEMENTS = 4_000_000
 #: chunk), so a handful of slots covers real workloads.
 SPECTRA_CACHE_SLOTS = 4
 
+#: Cap on the batched inverse-FFT working set, in complex128 elements
+#: (2M = 32 MiB per intermediate). The overlap-save segment loop batches
+#: its inverse FFTs over (segments x templates); this bounds how many
+#: segments share one batched call so a small-template bank (hundreds of
+#: segments) never materializes a multi-hundred-megabyte product tensor.
+BATCH_WORK_ELEMENTS = 2_097_152
+
 
 _ENGINE_ENABLED = os.environ.get("GALIOT_FASTCORR", "on").strip().lower() not in {
     "off",
@@ -417,24 +424,39 @@ def correlate_many(
             for key, out_len in zip(requested, out_lens, strict=True)
         }
         longest_track = max(out_lens)
-        segment = np.zeros(plan.nfft, dtype=np.complex128)
-        pos = 0
-        n_segments = 0
-        while pos < longest_track:
-            stop = min(pos + plan.nfft, n_samples)
-            segment[: stop - pos] = x[pos:stop]
-            segment[stop - pos :] = 0.0
-            fwd = sp_fft.fft(segment)
-            corr = sp_fft.ifft(bank_spectra * fwd, axis=1)
-            for out_row, (key, out_len) in enumerate(
+        nfft, hop = plan.nfft, plan.hop
+        n_segments = ceil(longest_track / hop)
+        # All overlap-save segments go through ONE batched forward FFT:
+        # a small-template bank plans hundreds of short segments, and
+        # paying a separate scipy dispatch per segment used to dominate
+        # the actual FFT work on the cloud classify path.
+        segmat = np.zeros((n_segments, nfft), dtype=np.complex128)
+        for seg in range(n_segments):
+            pos = seg * hop
+            stop = min(pos + nfft, n_samples)
+            segmat[seg, : stop - pos] = x[pos:stop]
+        fwd = sp_fft.fft(segmat, axis=1)
+        # Inverse FFTs batch over (segments x templates), chunked so the
+        # product tensor stays under BATCH_WORK_ELEMENTS.
+        n_keys = len(requested)
+        chunk = max(1, BATCH_WORK_ELEMENTS // (n_keys * nfft))
+        for c0 in range(0, n_segments, chunk):
+            c1 = min(c0 + chunk, n_segments)
+            corr = sp_fft.ifft(
+                fwd[c0:c1, None, :] * bank_spectra[None, :, :], axis=2
+            )
+            pos0 = c0 * hop
+            for row, (key, out_len) in enumerate(
                 zip(requested, out_lens, strict=True)
             ):
-                if pos >= out_len:
+                if pos0 >= out_len:
                     continue
-                take = min(plan.hop, out_len - pos)
-                out[key][pos : pos + take] = corr[out_row, :take]
-            pos += plan.hop
-            n_segments += 1
+                # Each segment's first ``hop`` lags are wrap-free, so
+                # consecutive segments tile the track contiguously.
+                end = min(c1 * hop, out_len)
+                out[key][pos0:end] = corr[:, row, :hop].reshape(-1)[
+                    : end - pos0
+                ]
     telemetry.count("fastcorr.forward_ffts", n_segments)
-    telemetry.count("fastcorr.inverse_ffts", n_segments * len(requested))
+    telemetry.count("fastcorr.inverse_ffts", n_segments * n_keys)
     return out

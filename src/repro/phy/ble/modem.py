@@ -127,7 +127,7 @@ class BleModem(Modem):
         iq = np.asarray(iq, dtype=np.complex128)
         start, score = sample_sync_strided(
             iq,
-            self.sync_waveform(),
+            self.sync_reference(),
             self._threshold,
             block=4 * self._sps,
             stride=max(self._sps // 4, 1),

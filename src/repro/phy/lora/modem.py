@@ -147,7 +147,7 @@ class LoRaModem(Modem):
         else:
             symbols = encoding.encode_to_symbols(payload, self.sf, self.cr)
         data = modulate_symbols(symbols, self.sf, self.oversample)
-        return np.concatenate([self.sync_waveform(), data])
+        return np.concatenate([self.sync_reference(), data])
 
     # -- demodulation --------------------------------------------------------------
 
@@ -208,12 +208,12 @@ class LoRaModem(Modem):
         if os_ == 1:
             return sample_sync(
                 iq,
-                self.sync_waveform(),
+                self.sync_reference(),
                 self._threshold,
                 block=max((1 << self.sf) // 4, 32),
             )
         dec = iq[::os_]
-        ref_dec = self.sync_waveform()[::os_]
+        ref_dec = self.sync_reference()[::os_]
         start, score = sample_sync(
             dec, ref_dec, self._threshold, block=max((1 << self.sf) // 4, 32)
         )
@@ -223,7 +223,7 @@ class LoRaModem(Modem):
         # by scanning +-1 chip around the decimated peak. Non-coherent
         # per-block combining keeps the refinement CFO-proof.
         coarse = start * os_
-        ref = self.sync_waveform()
+        ref = self.sync_reference()
         block = max((1 << self.sf) // 4 * os_, 64)
         n_blocks = max(len(ref) // block, 1)
         best = coarse
@@ -256,7 +256,7 @@ class LoRaModem(Modem):
                     -2j * np.pi * residual * n_idx / self.sample_rate
                 )
                 cfo_hz += residual
-        data_at = start + len(self.sync_waveform())
+        data_at = start + len(self.sync_reference())
         block = 4 + self.cr
         n_sym = self.samples_per_symbol
 

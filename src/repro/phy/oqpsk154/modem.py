@@ -122,7 +122,7 @@ class OQpsk154Modem(Modem):
 
     def _derotate(self, iq: np.ndarray, start: int) -> np.ndarray:
         """Correct the carrier phase using the known sync waveform."""
-        ref = self.sync_waveform()
+        ref = self.sync_reference()
         window = iq[start : start + len(ref)]
         if len(window) < len(ref):
             return iq
@@ -145,7 +145,7 @@ class OQpsk154Modem(Modem):
 
     def demodulate(self, iq: np.ndarray) -> FrameResult:
         iq = np.asarray(iq, dtype=np.complex128)
-        start, score = sample_sync(iq, self.sync_waveform(), self._threshold)
+        start, score = sample_sync(iq, self.sync_reference(), self._threshold)
         iq = self._derotate(iq, start)
         prefix_symbols = len(self._prefix_chips()) // _CHIPS_PER_SYMBOL
         phr_at = start + prefix_symbols * _CHIPS_PER_SYMBOL * self._sps

@@ -110,7 +110,7 @@ class SigfoxModem(Modem):
 
     def demodulate(self, iq: np.ndarray) -> FrameResult:
         iq = np.asarray(iq, dtype=np.complex128)
-        start, score = sample_sync(iq, self.sync_waveform(), self._threshold)
+        start, score = sample_sync(iq, self.sync_reference(), self._threshold)
         header_bits = 8 * (len(_PREAMBLE) + len(_SYNC))
         len_at = start + header_bits * self._sps
         length_bits = dbpsk_demodulate_bits(iq, len_at, 8, self._sps)

@@ -142,7 +142,7 @@ class XBeeModem(Modem):
         iq = np.asarray(iq, dtype=np.complex128)
         start, score = sample_sync_strided(
             iq,
-            self.sync_waveform(),
+            self.sync_reference(),
             self._threshold,
             block=2 * self._sps,
             stride=max(self._sps // 10, 1),

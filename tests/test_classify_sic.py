@@ -5,11 +5,42 @@ import pytest
 
 from repro.cloud.classify import SegmentClassifier
 from repro.cloud.sic import reconstruct_and_subtract, try_decode
+from repro.dsp.resample import to_rate
 from repro.errors import ConfigurationError
 from repro.net.scene import SceneBuilder
 from repro.net.traffic import collision_scene
+from repro.phy.base import FrameResult, Modem, ModulationClass
+from repro.telemetry import Telemetry
 
 FS = 1e6
+
+
+class _BrittleModem(Modem):
+    """A modem whose demodulator leaks a bare exception."""
+
+    name = "brittle"
+    modulation = ModulationClass.FSK
+
+    @property
+    def sample_rate(self):
+        return FS
+
+    @property
+    def bandwidth(self):
+        return 100e3
+
+    @property
+    def bit_rate(self):
+        return 100e3
+
+    def preamble_waveform(self):
+        return np.ones(64, complex)
+
+    def modulate(self, payload):
+        return np.ones(256, complex)
+
+    def demodulate(self, iq):
+        raise ValueError("index math went negative on this residual")
 
 
 class TestClassifier:
@@ -87,6 +118,31 @@ class TestClassifier:
         with pytest.raises(ConfigurationError):
             SegmentClassifier([], FS)
 
+    def test_equal_score_ties_keep_lowest_index(self, monkeypatch, rng):
+        # The peak re-sort before the max_per_technology cut is pinned
+        # to (score desc, index asc): equal scores must not depend on
+        # the peak finder's return order, or the engine-on/off
+        # equivalence gate could flip on suppression-order accidents.
+        modem = _BrittleModem()
+        clf = SegmentClassifier([modem], FS, max_per_technology=2)
+        tpl_norm = float(np.sqrt(64.0))
+        track = np.zeros(1024 - 64 + 1, dtype=complex)
+        for idx in (300, 50, 200, 100):  # deliberately unsorted spikes
+            track[idx] = 5.0 * tpl_norm
+
+        def fake_correlate_many(sig, bank, keys, telemetry=None):
+            assert list(keys) == [(0, 0)]
+            return {(0, 0): track.copy()}
+
+        monkeypatch.setattr(
+            "repro.cloud.classify.correlate_many", fake_correlate_many
+        )
+        samples = np.zeros(1024, complex)
+        samples[:] = 0.01  # nonzero so amplitude estimation is defined
+        found = clf.classify(samples)
+        assert [c.start for c in found] == [50, 100]
+        assert all(c.score == pytest.approx(5.0) for c in found)
+
 
 class TestTryDecode:
     def test_success_path(self, trio, rng):
@@ -101,6 +157,25 @@ class TestTryDecode:
         noise = (rng.normal(size=100_000) + 1j * rng.normal(size=100_000)) / 2
         for modem in trio:
             assert try_decode(modem, noise, FS) is None
+
+    def test_bare_modem_exception_is_a_miss(self, rng):
+        # Regression: only ReproError was caught, so a demodulator
+        # leaking ValueError/IndexError on a heavily-killed residual
+        # crashed the whole serial CloudService segment.
+        noise = (rng.normal(size=4096) + 1j * rng.normal(size=4096)) / 2
+        telemetry = Telemetry()
+        assert (
+            try_decode(_BrittleModem(), noise, FS, telemetry=telemetry)
+            is None
+        )
+        assert telemetry.counters["cloud.decode_errors"] == 1
+
+    def test_repro_errors_are_not_counted_as_decode_errors(self, trio, rng):
+        noise = (rng.normal(size=100_000) + 1j * rng.normal(size=100_000)) / 2
+        telemetry = Telemetry()
+        for modem in trio:
+            try_decode(modem, noise, FS, telemetry=telemetry)
+        assert "cloud.decode_errors" not in telemetry.counters
 
 
 class TestReconstruction:
@@ -167,6 +242,29 @@ class TestReconstruction:
         residual, report = reconstruct_and_subtract(capture, fs, ble, frame)
         assert report.cancelled_db > 30
         left = residual[2000 : 2000 + len(wave)]
+        assert np.mean(np.abs(left) ** 2) < 1e-6
+
+    def test_high_ratio_alignment_window_scales(self, trio):
+        # Regression: the alignment search probed a fixed ``start +- 16``
+        # in *segment-rate* samples. At a segment rate well above the
+        # modem's native rate, a chirp timing bias of a few *native*
+        # samples exceeds that window, the search pins to its edge, and
+        # the subtraction smears the frame instead of cancelling it.
+        lora = next(m for m in trio if m.name == "lora")
+        ratio = 8
+        fs = ratio * lora.sample_rate
+        wave = to_rate(lora.modulate(b"hi-rate"), lora.sample_rate, fs)
+        samples = np.zeros(len(wave) + 8192, complex)
+        pos = 4096
+        samples[pos : pos + len(wave)] = wave
+        # A start estimate biased 3 native samples early = 24 segment
+        # samples: inside the rate-scaled window, outside the old one.
+        bias_native = 3
+        start_native = pos // ratio - bias_native
+        frame = FrameResult(payload=b"hi-rate", crc_ok=True, start=start_native)
+        residual, report = reconstruct_and_subtract(samples, fs, lora, frame)
+        assert report.cancelled_db > 30
+        left = residual[pos : pos + len(wave)]
         assert np.mean(np.abs(left) ** 2) < 1e-6
 
     def test_frame_outside_segment_is_noop(self, trio):

@@ -138,6 +138,40 @@ class TestCollisionDecoding:
             CloudDecoder([], FS)
 
 
+class TestEngineEquivalence:
+    """Algorithm 1 must decode identically with the fastcorr engine
+    on (shared-FFT overlap-save classify/SIC) and off (per-template
+    fftconvolve) — the engine is a performance lever, not a behaviour
+    change. This is the cloud-path analogue of the detector-event pin
+    in test_fastcorr.py."""
+
+    def test_decode_results_match_engine_off(self, trio, rng):
+        from repro.dsp.fastcorr import set_fastcorr
+
+        by = {m.name: m for m in trio}
+        captures = []
+        builder = SceneBuilder(FS, 0.06)
+        builder.add_packet(by["zwave"], b"clean", 3000, 15, rng)
+        captures.append(builder.render(rng)[0])
+        captures.append(
+            collision_scene(
+                [by["lora"], by["xbee"]], [12, 12], FS, rng, payload_len=8
+            )[0]
+        )
+        on_decoder = CloudDecoder.galiot(trio, FS)
+        off_decoder = CloudDecoder.galiot(trio, FS)
+        for capture in captures:
+            on_report = on_decoder.decode(capture)
+            previous = set_fastcorr(False)
+            try:
+                off_report = off_decoder.decode(capture)
+            finally:
+                set_fastcorr(previous)
+            assert on_report.results == off_report.results
+            assert on_report.sic_cancellations == off_report.sic_cancellations
+            assert on_report.kill_invocations == off_report.kill_invocations
+
+
 class TestCloudService:
     def test_segment_rebasing(self, trio, rng):
         xbee = next(m for m in trio if m.name == "xbee")

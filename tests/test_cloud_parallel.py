@@ -1,9 +1,11 @@
 """Tests for the parallel cloud decode farm (repro.cloud.parallel)."""
 
+import os
+
 import numpy as np
 import pytest
 
-from repro.cloud.parallel import ParallelCloudService
+from repro.cloud.parallel import SHM_MIN_SAMPLES, ParallelCloudService
 from repro.cloud.pipeline import CloudService, CloudStats
 from repro.errors import ConfigurationError
 from repro.gateway.compression import SegmentCodec
@@ -122,6 +124,62 @@ class TestSerialEquivalence:
             results = farm.process_compressed_batch(blobs)
             assert results == ref_results
             assert farm.stats == serial.stats
+
+
+class TestSharedMemoryHandoff:
+    """The zero-copy segment path to process workers."""
+
+    @staticmethod
+    def _shm_blocks():
+        try:
+            return {n for n in os.listdir("/dev/shm") if n.startswith("psm_")}
+        except FileNotFoundError:  # non-Linux: nothing to leak-check
+            return set()
+
+    def test_process_pool_stages_big_segments(self, trio, batch, serial_reference):
+        ref_results, _, _ = serial_reference
+        assert all(len(s.samples) >= SHM_MIN_SAMPLES for s in batch)
+        telemetry = Telemetry()
+        before = self._shm_blocks()
+        with ParallelCloudService(
+            trio, FS, workers=2, executor="process", telemetry=telemetry
+        ) as farm:
+            assert farm.process_segments(batch) == ref_results
+        counters = telemetry.snapshot()["counters"]
+        assert counters["cloud.parallel.shm_segments"] == len(batch)
+        assert self._shm_blocks() <= before  # nothing leaked
+
+    def test_small_segments_keep_the_pickle_path(self, trio):
+        small = Segment(
+            start=0,
+            samples=np.full(SHM_MIN_SAMPLES // 2, 1e-3 + 0j),
+            sample_rate=FS,
+        )
+        telemetry = Telemetry()
+        with ParallelCloudService(
+            trio, FS, workers=1, executor="process", telemetry=telemetry
+        ) as farm:
+            farm.process_segments([small])
+        counters = telemetry.snapshot()["counters"]
+        assert "cloud.parallel.shm_segments" not in counters
+
+    def test_thread_pool_never_stages(self, trio, batch, serial_reference):
+        ref_results, _, _ = serial_reference
+        telemetry = Telemetry()
+        with ParallelCloudService(
+            trio, FS, workers=2, executor="thread", telemetry=telemetry
+        ) as farm:
+            assert farm.process_segments(batch) == ref_results
+        counters = telemetry.snapshot()["counters"]
+        assert "cloud.parallel.shm_segments" not in counters
+
+    def test_close_releases_undrained_segments(self, trio, batch):
+        before = self._shm_blocks()
+        farm = ParallelCloudService(trio, FS, workers=1, executor="process")
+        for segment in batch:
+            farm.submit(segment)
+        farm.close()  # never drained
+        assert self._shm_blocks() <= before
 
 
 class TestStreamingHook:
