@@ -178,13 +178,18 @@ def _run_cloud(args: argparse.Namespace) -> int:
 
     results = []
     t0 = time.perf_counter()
-    for report in stream.run(iter_chunks(capture, args.chunk)):
-        if args.workers < 1:
-            for segment in report.shipped:
-                results.extend(service.process_segment(segment))
-    if args.workers >= 1:
-        results = service.drain()
-        service.close()
+    try:
+        for report in stream.run(iter_chunks(capture, args.chunk)):
+            if args.workers < 1:
+                for segment in report.shipped:
+                    results.extend(service.process_segment(segment))
+        if args.workers >= 1:
+            results = service.drain()
+    finally:
+        # A crashed run must not leave worker processes (or their
+        # /dev/shm blocks) behind; close() is idempotent.
+        if args.workers >= 1:
+            service.close()
     elapsed = time.perf_counter() - t0
 
     stats = service.stats
@@ -275,11 +280,17 @@ def _run_chaos(args: argparse.Namespace) -> int:
             stream = StreamingGateway(
                 gateway, on_shipped=farm.submit, fault_tolerant=True
             )
-            report = stream.process_stream(iter_chunks(capture, args.chunk))
-            results = farm.drain()
-            quarantined = list(farm.quarantine)
-            stats = farm.stats
-            farm.close()
+            try:
+                report = stream.process_stream(
+                    iter_chunks(capture, args.chunk)
+                )
+                results = farm.drain()
+                quarantined = list(farm.quarantine)
+                stats = farm.stats
+            finally:
+                # The drill injects crashes on purpose: an escaping
+                # fault must still tear the farm down.
+                farm.close()
         else:
             service = CloudService(modems, fs, telemetry=telemetry)
             stream = StreamingGateway(gateway)
@@ -359,6 +370,20 @@ def _run_lint(args: argparse.Namespace) -> int:
         argv += ["--ignore", ignored]
     if args.list_rules:
         argv.append("--list-rules")
+    if args.format != "text":
+        argv += ["--format", args.format]
+    if args.fix:
+        argv.append("--fix")
+    if args.baseline is not None:
+        argv += ["--baseline", args.baseline]
+    if args.no_baseline:
+        argv.append("--no-baseline")
+    if args.update_baseline:
+        argv.append("--update-baseline")
+    if args.no_cache:
+        argv.append("--no-cache")
+    if args.stats:
+        argv.append("--stats")
     return lint_main(argv)
 
 
@@ -525,6 +550,35 @@ def main(argv: list[str] | None = None) -> int:
     lint.add_argument(
         "--list-rules", action="store_true",
         help="list the available rules and exit",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--fix", action="store_true",
+        help="apply available autofixes, then re-lint",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline file of tolerated findings "
+        "(default: ./.galiot-lint-baseline.json if present)",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file and report every finding",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    lint.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the per-file analysis cache",
+    )
+    lint.add_argument(
+        "--stats", action="store_true",
+        help="print cache/timing statistics to stderr",
     )
     lint.set_defaults(func=_run_lint)
     args = parser.parse_args(argv)

@@ -389,7 +389,9 @@ class ParallelCloudService:
         try:
             old.shutdown(wait=False, cancel_futures=True)
         except Exception:
-            pass  # a broken pool may refuse even shutdown — abandon it
+            # A broken pool may refuse even shutdown — abandon it, but
+            # leave a trace so leaked pools show up in telemetry.
+            self.telemetry.count("cloud.parallel.shutdown_errors")
         self._pool = self._make_pool()
         self.telemetry.count("cloud.parallel.pool_respawns")
 

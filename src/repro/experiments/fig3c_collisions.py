@@ -181,7 +181,7 @@ def run_fig3c(
                             result.methods.get(r.method, 0) + 1
                         )
                 airtime[mode] += duration
-                for tech, payload in want:
+                for tech, payload in sorted(want):
                     key = (mode, tech)
                     t = tier.get(key, 0)
                     if (tech, payload) in delivered:

@@ -114,7 +114,12 @@ def run_headline(
     episodes_per_bucket: int = 8,
 ) -> HeadlineResult:
     """Recompute every headline from the figure machinery."""
+    # Distinct root seeds per figure pipeline: both consume their seed
+    # directly, so sharing one would feed identical random streams into
+    # two supposedly independent experiments.
     return HeadlineResult(
         fig3b=run_fig3b(trials_per_band=detection_trials, seed=seed),
-        fig3c=run_fig3c(episodes_per_bucket=episodes_per_bucket, seed=seed),
+        fig3c=run_fig3c(
+            episodes_per_bucket=episodes_per_bucket, seed=seed + 1
+        ),
     )

@@ -177,7 +177,10 @@ class FaultPlan:
                 f"injected worker crash at submission {submission}"
             )
         if submission in self.hang_submissions:
-            time.sleep(self.hang_s)
+            # Real wall-clock on purpose: a hang fault must burn actual
+            # time inside the worker so the parent's *real* decode
+            # timeout (CloudResilience.decode_timeout_s) trips.
+            time.sleep(self.hang_s)  # noqa: GL102
         if seq in self.poison_segments:
             raise InjectedFault(
                 f"injected poison decode failure for segment {seq}"

@@ -1,16 +1,20 @@
-"""galiot-lint — DSP-aware static analysis for the GalioT reproduction.
+"""galiot-lint — project-aware static analysis for the GalioT reproduction.
 
-A small AST-based linter encoding the repo's signal-plumbing contracts
-(the failure modes ruff/mypy cannot see): I/Q boundary guards, unit-
-suffixed parameter naming, dtype discipline in complex expressions,
-annotation coverage of the public API, telemetry-threading regressions
-and dataclass field hygiene.
+A two-pass analyzer encoding the repo's signal-plumbing and concurrency
+contracts (the failure modes ruff/mypy cannot see). Pass 1 checks each
+module and extracts a semantic summary; pass 2 links summaries into a
+whole-project model (symbol table, import graph, call graph) and runs
+cross-module rules over it. Results cache per file
+(``.galiot-lint-cache.json``) and pre-existing findings can be
+tolerated via a checked-in ratchet baseline
+(``.galiot-lint-baseline.json``).
 
 Run it as ``python -m galiot_lint src/`` (with ``tools/`` on
 ``PYTHONPATH``), via the repo stub ``python tools/galiot-lint src/``,
 or through the main CLI as ``galiot lint src/``.
 
-Rules (see each rule class docstring, or ``--explain CODE``):
+Rules (see ``docs/lint.md``, each rule class docstring, or
+``--explain CODE``):
 
 ========  =============================================================
 GL001     I/Q boundary function lacks a dtype guard
@@ -19,22 +23,51 @@ GL003     float32/float64 literal arithmetic in a complex expression
 GL004     public ``repro.*`` function missing type annotations
 GL005     stage constructs its own ``Telemetry`` registry
 GL006     bare/mutable ``dict``/``list`` annotation in a dataclass
+GL101     unseeded RNG reachable from a seeded entry point (project)
+GL102     wall-clock call inside a simulated-time module
+GL103     set iteration feeds an order-sensitive merge (project, fix)
+GL104     one root seed builds several generators (project)
+GL201     SharedMemory acquired without a guaranteed release
+GL202     executor/pool created without a guaranteed shutdown
+GL203     ``open()`` without ``with`` or a guaranteed ``close()``
+GL204     release exists but only on the success path
+GL301     pool-worker function mutates module-global state (project)
+GL302     closure/lambda shipped across the pool boundary
+GL303     ``except Exception`` swallows the error without a trace
+GL304     bare ``except:`` (autofix: ``except Exception:``)
+GL900     syntax error (engine)
+GL901     unknown/malformed code in a ``# noqa`` comment (engine)
 ========  =============================================================
 """
 
 from __future__ import annotations
 
-from .engine import Finding, lint_file, lint_paths, lint_source
+from .engine import (
+    Finding,
+    all_rules_by_code,
+    lint_file,
+    lint_paths,
+    lint_source,
+    run_project,
+)
+from .project_rules import PROJECT_RULES, ProjectRule
 from .rules import ALL_RULES, Rule
+from .semantic import ModuleSummary, ProjectModel
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "__version__",
     "Finding",
     "Rule",
+    "ProjectRule",
     "ALL_RULES",
+    "PROJECT_RULES",
+    "ModuleSummary",
+    "ProjectModel",
+    "all_rules_by_code",
     "lint_source",
     "lint_file",
     "lint_paths",
+    "run_project",
 ]

@@ -1,0 +1,122 @@
+"""Baseline ratcheting: pre-existing findings gate, new ones block.
+
+The baseline file (``.galiot-lint-baseline.json``, checked in) maps a
+*fingerprint* of each accepted finding to how many instances of it are
+tolerated. Fingerprints hash ``relative-path | code | message`` — no
+line numbers — so unrelated edits that shift a tolerated finding up or
+down the file do not break CI, while any *new* finding (or a new copy
+of an old one) fails the gate. Fixing a tolerated finding makes its
+baseline entry stale; ``--update-baseline`` re-records the current
+state, which is only ever allowed to shrink in review (the ratchet).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from .engine import Finding
+
+__all__ = [
+    "BaselineResult",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = ".galiot-lint-baseline.json"
+
+
+def _relpath(path: str, root: Path) -> str:
+    try:
+        return Path(path).resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return Path(path).as_posix()
+
+
+def fingerprint(finding: Finding, root: Path) -> str:
+    """Line-insensitive identity of a finding for baseline matching."""
+    key = f"{_relpath(finding.path, root)}|{finding.code}|{finding.message}"
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+
+
+def load_baseline(path: Path) -> dict[str, int]:
+    """Fingerprint → tolerated count; empty mapping if absent/invalid."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return {}
+    findings = data.get("findings")
+    if not isinstance(findings, dict):
+        return {}
+    return {
+        str(k): int(v)
+        for k, v in findings.items()
+        if isinstance(v, int) and v > 0
+    }
+
+
+def write_baseline(
+    path: Path, findings: list[Finding], root: Path
+) -> dict[str, int]:
+    """Record the current findings as the new tolerated baseline."""
+    counts: dict[str, int] = {}
+    notes: dict[str, str] = {}
+    for finding in findings:
+        fp = fingerprint(finding, root)
+        counts[fp] = counts.get(fp, 0) + 1
+        notes.setdefault(
+            fp,
+            f"{_relpath(finding.path, root)}: {finding.code} "
+            f"{finding.message}",
+        )
+    doc = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "Tolerated pre-existing galiot-lint findings (ratchet: this "
+            "file only shrinks). Regenerate with --update-baseline."
+        ),
+        "findings": {fp: counts[fp] for fp in sorted(counts)},
+        "notes": {fp: notes[fp] for fp in sorted(notes)},
+    }
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    return counts
+
+
+class BaselineResult:
+    """Outcome of filtering findings through a baseline."""
+
+    def __init__(
+        self,
+        new: list[Finding],
+        suppressed: int,
+        stale: dict[str, int],
+    ) -> None:
+        self.new = new
+        self.suppressed = suppressed
+        #: Entries in the baseline no longer matched by any finding
+        #: (fingerprint → unused tolerance): candidates for ratcheting.
+        self.stale = stale
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: dict[str, int], root: Path
+) -> BaselineResult:
+    """Split findings into new (reported) and baselined (tolerated)."""
+    budget = dict(baseline)
+    new: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        fp = fingerprint(finding, root)
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+            suppressed += 1
+        else:
+            new.append(finding)
+    stale = {fp: left for fp, left in budget.items() if left > 0}
+    return BaselineResult(new=new, suppressed=suppressed, stale=stale)

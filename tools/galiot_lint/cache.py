@@ -1,0 +1,138 @@
+"""Per-file lint cache: mtime+size fast path, content-hash slow path.
+
+The expensive part of a lint run is parsing and rule execution; the
+cross-module pass itself only walks pre-digested summaries. So the
+cache stores, per file, the extracted :class:`ModuleSummary` and the
+per-module findings — enough to run a fully warm whole-project pass
+without opening a single source file (mtime+size match) and to survive
+``touch`` without content changes (sha256 match after a cheap read).
+
+The cache key folds in the engine version and the registered rule
+codes: adding or changing a rule invalidates everything, so stale
+findings can never leak through an old cache file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from .semantic import ModuleSummary
+
+__all__ = ["LintCache", "DEFAULT_CACHE_NAME"]
+
+DEFAULT_CACHE_NAME = ".galiot-lint-cache.json"
+_CACHE_FORMAT = 2
+
+
+class LintCache:
+    """Load/store per-file summaries and findings keyed by content."""
+
+    def __init__(self, path: Path, engine_key: str) -> None:
+        self.path = path
+        self.key = f"{_CACHE_FORMAT}/{engine_key}"
+        self._files: dict[str, dict[str, Any]] = {}
+        self._dirty = False
+        self.hits = 0
+        self.misses = 0
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            if data.get("key") == self.key and isinstance(
+                data.get("files"), dict
+            ):
+                self._files = data["files"]
+        except (OSError, json.JSONDecodeError, TypeError):
+            self._files = {}
+
+    # -- lookup ----------------------------------------------------------
+
+    def lookup(
+        self, path: Path
+    ) -> tuple[ModuleSummary, list[list[Any]]] | None:
+        """Cached ``(summary, findings_json)`` if the file is unchanged.
+
+        Returns ``None`` on any miss; the caller re-lints and calls
+        :meth:`store`. Findings are returned in their JSON form —
+        ``[line, col, code, message, fix|None]`` — and rehydrated by
+        the engine (which owns the ``Finding`` type).
+        """
+        key = str(path.resolve())
+        entry = self._files.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        try:
+            stat = os.stat(path)
+        except OSError:
+            self.misses += 1
+            return None
+        if (
+            entry.get("mtime_ns") != stat.st_mtime_ns
+            or entry.get("size") != stat.st_size
+        ):
+            # Touched: fall back to the content hash before giving up.
+            try:
+                digest = _sha256(path)
+            except OSError:
+                self.misses += 1
+                return None
+            if digest != entry.get("sha256"):
+                self.misses += 1
+                return None
+            entry["mtime_ns"] = stat.st_mtime_ns
+            entry["size"] = stat.st_size
+            self._dirty = True
+        try:
+            summary = ModuleSummary.from_json(entry["summary"])
+            findings = entry["findings"]
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary, findings
+
+    # -- store -----------------------------------------------------------
+
+    def store(
+        self,
+        path: Path,
+        source: str,
+        summary: ModuleSummary,
+        findings_json: list[list[Any]],
+    ) -> None:
+        key = str(path.resolve())
+        try:
+            stat = os.stat(path)
+            mtime_ns, size = stat.st_mtime_ns, stat.st_size
+        except OSError:
+            mtime_ns, size = 0, len(source)
+        self._files[key] = {
+            "mtime_ns": mtime_ns,
+            "size": size,
+            "sha256": hashlib.sha256(
+                source.encode("utf-8")
+            ).hexdigest(),
+            "summary": summary.to_json(),
+            "findings": findings_json,
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        doc = {"key": self.key, "files": self._files}
+        try:
+            self.path.write_text(
+                json.dumps(doc, separators=(",", ":")) + "\n",
+                encoding="utf-8",
+            )
+        except OSError:
+            return  # a read-only checkout just runs cold every time
+        self._dirty = False
+
+
+def _sha256(path: Path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()

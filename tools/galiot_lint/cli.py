@@ -1,17 +1,34 @@
 """Command-line front end: ``python -m galiot_lint [paths ...]``.
 
 Output matches ruff's ``path:line:col: CODE message`` lines so editor
-integrations and CI annotations work unchanged; the exit code is 1
-when findings exist, 0 otherwise.
+integrations and CI annotations work unchanged (``--format json`` and
+``--format sarif`` emit machine-readable documents instead); the exit
+code is 1 when non-baselined findings exist, 0 otherwise.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
+from pathlib import Path
 
-from .engine import lint_paths, select_rules
-from .rules import ALL_RULES, rules_by_code
+from .baseline import (
+    DEFAULT_BASELINE_NAME,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .cache import DEFAULT_CACHE_NAME, LintCache
+from .engine import (
+    MODULE_RULES,
+    all_rules_by_code,
+    run_project,
+    select_rules,
+)
+from .fixes import apply_fixes
+from .output import render_json, render_sarif, render_text
+from .project_rules import PROJECT_RULES
 
 
 def _split_codes(values: list[str]) -> list[str]:
@@ -26,8 +43,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="galiot-lint",
         description=(
-            "DSP-aware static analysis for the GalioT reproduction "
-            "(rules GL001-GL006)."
+            "Project-aware static analysis for the GalioT reproduction "
+            "(per-module rules GL001-GL006, GL102, GL2xx/GL3xx; "
+            "cross-module rules GL101/GL103/GL104/GL301)."
         ),
     )
     parser.add_argument(
@@ -54,7 +72,73 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress the trailing summary line",
     )
+    parser.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--fix", action="store_true",
+        help="apply available autofixes, then re-lint",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help=(
+            "baseline file of tolerated findings "
+            f"(default: ./{DEFAULT_BASELINE_NAME} when present)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every finding, ignoring any baseline file",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="re-record current findings as the tolerated baseline",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the per-file result cache",
+    )
+    parser.add_argument(
+        "--cache-path", metavar="PATH", default=None,
+        help=f"cache file location (default: ./{DEFAULT_CACHE_NAME})",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print cache/timing statistics to stderr",
+    )
     return parser
+
+
+def _engine_key() -> str:
+    from . import __version__
+
+    codes = sorted(
+        [r.code for r in MODULE_RULES] + [r.code for r in PROJECT_RULES]
+    )
+    return f"{__version__}/{','.join(codes)}"
+
+
+def _run_fixes(run, args, select, ignore, cache) -> tuple[int, object]:
+    """Apply autofixes and re-lint; returns (n_applied, fresh run)."""
+    by_path: dict[str, list] = {}
+    for finding in run.findings:
+        if finding.fix is not None:
+            by_path.setdefault(finding.path, []).append(finding)
+    applied = 0
+    for path, findings in sorted(by_path.items()):
+        target = Path(path)
+        try:
+            source = target.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        fixed, n = apply_fixes(source, findings)
+        if n:
+            target.write_text(fixed, encoding="utf-8")
+            applied += n
+    if applied:
+        run = run_project(args.paths, select=select, ignore=ignore, cache=cache)
+    return applied, run
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -62,13 +146,14 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.list_rules:
-        for rule in ALL_RULES:
+        for rule in (*MODULE_RULES, *PROJECT_RULES):
             summary = (rule.__doc__ or "").strip().splitlines()[0]
-            print(f"{rule.code}  {rule.name:<28}  {summary}")
+            scope = "project" if rule in PROJECT_RULES else "module"
+            print(f"{rule.code}  {rule.name:<28}  [{scope}]  {summary}")
         return 0
 
     if args.explain:
-        rule = rules_by_code().get(args.explain.strip().upper())
+        rule = all_rules_by_code().get(args.explain.strip().upper())
         if rule is None:
             print(f"unknown rule code {args.explain!r}", file=sys.stderr)
             return 2
@@ -83,10 +168,72 @@ def main(argv: list[str] | None = None) -> int:
         print(str(exc), file=sys.stderr)
         return 2
 
-    findings = lint_paths(args.paths, select=select, ignore=ignore)
-    for finding in findings:
-        print(finding.render())
+    root = Path.cwd()
+    cache = None
+    if not args.no_cache:
+        cache_path = (
+            Path(args.cache_path) if args.cache_path
+            else root / DEFAULT_CACHE_NAME
+        )
+        cache = LintCache(cache_path, _engine_key())
+
+    t0 = time.perf_counter()
+    run = run_project(args.paths, select=select, ignore=ignore, cache=cache)
+
+    applied = 0
+    if args.fix:
+        applied, run = _run_fixes(run, args, select, ignore, cache)
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline
+        else root / DEFAULT_BASELINE_NAME
+    )
+    if args.update_baseline:
+        counts = write_baseline(baseline_path, run.findings, root)
+        print(
+            f"baseline updated: {len(run.findings)} finding(s) "
+            f"({len(counts)} fingerprint(s)) recorded in {baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+
+    suppressed = 0
+    stale = 0
+    findings = run.findings
+    if not args.no_baseline and baseline_path.is_file():
+        result = apply_baseline(findings, load_baseline(baseline_path), root)
+        findings = result.new
+        suppressed = result.suppressed
+        stale = sum(result.stale.values())
+
+    if args.format == "json":
+        print(render_json(findings))
+    elif args.format == "sarif":
+        docs = {
+            code: rule.explain()
+            for code, rule in all_rules_by_code().items()
+        }
+        from . import __version__
+
+        print(render_sarif(findings, root, docs, __version__))
+    else:
+        if findings:
+            print(render_text(findings))
+
     if not args.quiet:
+        if applied:
+            print(f"Fixed {applied} finding(s).", file=sys.stderr)
+        if suppressed:
+            print(
+                f"{suppressed} baselined finding(s) tolerated.",
+                file=sys.stderr,
+            )
+        if stale:
+            print(
+                f"{stale} stale baseline entr(y/ies): ratchet down with "
+                "--update-baseline",
+                file=sys.stderr,
+            )
         n = len(findings)
         print(
             f"Found {n} error{'s' if n != 1 else ''}."
@@ -94,6 +241,14 @@ def main(argv: list[str] | None = None) -> int:
             else "All checks passed!",
             file=sys.stderr,
         )
+        if args.stats:
+            elapsed = time.perf_counter() - t0
+            print(
+                f"[stats] {len(run.files)} files, "
+                f"{run.cache_hits} cached / {run.cache_misses} linted, "
+                f"{elapsed:.2f}s",
+                file=sys.stderr,
+            )
     return 1 if findings else 0
 
 

@@ -1,24 +1,54 @@
-"""Lint engine: file discovery, rule execution, noqa, filtering.
+"""Lint engine: two-pass orchestration over the project model.
 
-The engine is deliberately simple: parse each file once, run every
-selected rule over the tree, suppress findings on lines carrying a
-``# noqa`` (optionally scoped, ruff-style: ``# noqa: GL001, GL004``)
-and return findings sorted for stable, diffable output.
+v2 runs in two passes. Pass 1 handles each file independently — parse,
+extract a :class:`~galiot_lint.semantic.ModuleSummary`, run every
+per-module rule (the GL00x conventions plus the flow-aware
+GL102/GL2xx/GL30x checks), apply ``# noqa`` suppressions — and is what
+the on-disk cache memoizes per file. Pass 2 links the summaries into a
+:class:`~galiot_lint.semantic.ProjectModel` and runs the cross-module
+rules (GL101/GL103/GL104/GL301); it re-runs on every invocation but
+touches only summaries, so a fully warm run never re-parses a file.
+
+Engine-level codes: GL900 (syntax error) and GL901 (unknown code in a
+``# noqa`` comment — reported instead of silently ignored).
+
+The v1 library surface (``lint_source``/``lint_file``/``lint_paths``/
+``select_rules``/``Finding``) is preserved; ``lint_source`` builds a
+single-module project model so the cross-module rules still run in
+degraded (one-file) form.
 """
 
 from __future__ import annotations
 
 import ast
-import re
 from collections.abc import Iterable, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any
 
+from .fixes import Fix, bare_except_fix, sorted_wrap_fix
+from .flow_rules import FLOW_RULES
+from .project_rules import PROJECT_RULES, ProjectRule, project_rules_by_code
 from .rules import ALL_RULES, ModuleContext, Rule, rules_by_code
+from .semantic import ModuleSummary, ProjectModel, extract_module
 
-__all__ = ["Finding", "lint_source", "lint_file", "lint_paths", "select_rules"]
+__all__ = [
+    "Finding",
+    "ProjectRun",
+    "all_rules_by_code",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "run_project",
+    "select_rules",
+    "select_project_rules",
+]
 
-_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9,\s]+))?", re.IGNORECASE)
+#: Every per-module rule class: repo conventions + flow-aware checks.
+MODULE_RULES: tuple[type[Rule], ...] = ALL_RULES + FLOW_RULES
+
+#: Engine-level codes that are always active (not selectable rules).
+ENGINE_CODES = frozenset({"GL900", "GL901"})
 
 
 @dataclass(frozen=True, order=True)
@@ -30,92 +60,132 @@ class Finding:
     col: int
     code: str
     message: str
+    fix: Fix | None = field(default=None, compare=False)
 
     def render(self) -> str:
         """Ruff-style ``path:line:col: CODE message`` line."""
         return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
 
 
+def all_rules_by_code() -> dict[str, type[Rule] | type[ProjectRule]]:
+    """Every registered rule — per-module and cross-module — by code."""
+    registry: dict[str, type[Rule] | type[ProjectRule]] = {
+        rule.code: rule for rule in MODULE_RULES
+    }
+    registry.update(project_rules_by_code())
+    return registry
+
+
+def _validate_codes(codes: Iterable[str], known: Iterable[str]) -> list[str]:
+    known = list(known)
+    out = []
+    for code in codes:
+        code = code.strip().upper()
+        if not code:
+            continue
+        if not any(k.startswith(code) for k in known):
+            raise ValueError(f"unknown rule code {code!r}")
+        out.append(code)
+    return out
+
+
+def _filter_codes(
+    codes: list[str],
+    select: Iterable[str] | None,
+    ignore: Iterable[str] | None,
+) -> list[str]:
+    known = list(all_rules_by_code())
+    selected = codes
+    if select is not None:
+        wanted = _validate_codes(select, known)
+        selected = [c for c in selected if any(c.startswith(w) for w in wanted)]
+    if ignore is not None:
+        unwanted = _validate_codes(ignore, known)
+        selected = [
+            c for c in selected if not any(c.startswith(w) for w in unwanted)
+        ]
+    return selected
+
+
 def select_rules(
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
 ) -> list[Rule]:
-    """Instantiate the rule set after ``--select``/``--ignore`` filtering.
+    """Instantiate the per-module rule set after ``--select``/``--ignore``.
 
     ``select`` keeps only the listed codes (prefix match, so ``GL`` or
     ``GL00`` select families); ``ignore`` then removes codes the same
     way. Unknown codes raise ``ValueError`` so typos fail loudly.
+    Validation runs against the *full* registry (cross-module rules
+    included) — selecting ``GL104`` is valid here and simply yields an
+    empty per-module set; pair with :func:`select_project_rules`.
     """
-    known = rules_by_code()
-
-    def _validate(codes: Iterable[str]) -> list[str]:
-        out = []
-        for code in codes:
-            code = code.strip().upper()
-            if not code:
-                continue
-            if not any(k.startswith(code) for k in known):
-                raise ValueError(f"unknown rule code {code!r}")
-            out.append(code)
-        return out
-
-    selected = list(known)
-    if select is not None:
-        wanted = _validate(select)
-        selected = [c for c in selected if any(c.startswith(w) for w in wanted)]
-    if ignore is not None:
-        unwanted = _validate(ignore)
-        selected = [
-            c for c in selected if not any(c.startswith(w) for w in unwanted)
-        ]
-    return [known[c]() for c in selected]
+    known = {rule.code: rule for rule in MODULE_RULES}
+    codes = _filter_codes(list(known), select, ignore)
+    return [known[c]() for c in codes]
 
 
-def _noqa_codes(line: str) -> set[str] | None:
-    """Codes suppressed on ``line``: empty set = all, None = no noqa."""
-    match = _NOQA_RE.search(line)
-    if match is None:
+def select_project_rules(
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[ProjectRule]:
+    """Instantiate the cross-module rule set after filtering."""
+    known = project_rules_by_code()
+    codes = _filter_codes(list(known), select, ignore)
+    return [known[c]() for c in codes]
+
+
+# ---------------------------------------------------------------------------
+# pass 1: per-module
+
+
+def _suppressed(noqa: dict[int, Any], line: int, code: str) -> bool:
+    entry = noqa.get(line)
+    if entry is None:
+        return False
+    if entry == "all":
+        return True
+    return code in entry
+
+
+def _attach_fix(
+    code: str, line: int, col: int, lines: list[str]
+) -> Fix | None:
+    """Autofixes derivable from the finding location alone (GL304)."""
+    if code != "GL304" or not 0 < line <= len(lines):
         return None
-    codes = match.group("codes")
-    if not codes:
-        return set()
-    return {c.strip().upper() for c in codes.split(",") if c.strip()}
+    return bare_except_fix(line, col, lines[line - 1])
 
 
-def lint_source(
-    source: str,
-    path: str | Path,
-    rules: Sequence[Rule] | None = None,
-) -> list[Finding]:
-    """Lint one module's source text; ``path`` is used for reporting."""
-    path = Path(path)
-    if rules is None:
-        rules = [rule() for rule in ALL_RULES]
+def _lint_module(
+    source: str, path: Path, rules: Sequence[Rule]
+) -> tuple[list[Finding], ModuleSummary | None]:
+    """Parse + extract + per-module rules for one file."""
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
-        return [
-            Finding(
-                path=str(path),
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                code="GL900",
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
+        return (
+            [
+                Finding(
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    code="GL900",
+                    message=f"syntax error: {exc.msg}",
+                )
+            ],
+            None,
+        )
+    lines = source.splitlines()
+    summary = extract_module(tree, path, lines)
     parts = tuple(p for p in path.parts[:-1] if p not in (".", ".."))
     context = ModuleContext(
         path=path, module_name=path.stem, package_parts=parts
     )
-    lines = source.splitlines()
     findings = []
     for rule in rules:
         for line, col, message in rule.check(tree, context):
-            text = lines[line - 1] if 0 < line <= len(lines) else ""
-            suppressed = _noqa_codes(text)
-            if suppressed is not None and (
-                not suppressed or rule.code in suppressed
-            ):
+            if _suppressed(summary.noqa, line, rule.code):
                 continue
             findings.append(
                 Finding(
@@ -124,8 +194,219 @@ def lint_source(
                     col=col,
                     code=rule.code,
                     message=message,
+                    fix=_attach_fix(rule.code, line, col, lines),
                 )
             )
+    return sorted(findings), summary
+
+
+def _noqa_warnings(summary: ModuleSummary, path: Path) -> list[Finding]:
+    """GL901 findings for unknown/malformed codes in noqa comments."""
+    known = set(all_rules_by_code()) | ENGINE_CODES
+    findings = []
+    for line, token in summary.malformed_noqa:
+        findings.append(
+            Finding(
+                path=str(path), line=line, col=0, code="GL901",
+                message=(
+                    f"malformed code {token!r} in noqa comment: expected "
+                    "GLxxx codes, comma-separated"
+                ),
+            )
+        )
+    for line, entry in summary.noqa.items():
+        if entry == "all":
+            continue
+        for code in entry:
+            if code not in known:
+                findings.append(
+                    Finding(
+                        path=str(path), line=line, col=0, code="GL901",
+                        message=(
+                            f"unknown rule code {code!r} in noqa comment "
+                            "is ignored: check for a typo or drop it"
+                        ),
+                    )
+                )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# pass 2: project
+
+
+def _project_findings(
+    summaries: dict[str, ModuleSummary],
+    project_rules: Sequence[ProjectRule],
+    sources: dict[str, str] | None = None,
+) -> list[Finding]:
+    """Run the cross-module rules and map results back to findings.
+
+    ``sources`` memoizes file text for autofix construction (GL103
+    needs the physical line to wrap the iterable); on a warm cache it
+    lazily re-reads just the files that actually have findings.
+    """
+    model = ProjectModel(list(summaries.values()))
+    by_path = {s.path: s for s in summaries.values()}
+    if sources is None:
+        sources = {}
+    findings = []
+    for rule in project_rules:
+        for path, line, col, message, span in rule.check_project(model):
+            summary = by_path.get(path)
+            if summary is not None and _suppressed(
+                summary.noqa, line, rule.code
+            ):
+                continue
+            fix = None
+            if span is not None:
+                text_lines = _source_lines(path, sources)
+                if 0 < span[0] <= len(text_lines):
+                    fix = sorted_wrap_fix(span, text_lines[span[0] - 1])
+            findings.append(
+                Finding(
+                    path=path, line=line, col=col,
+                    code=rule.code, message=message, fix=fix,
+                )
+            )
+    return findings
+
+
+def _source_lines(path: str, sources: dict[str, str]) -> list[str]:
+    if path not in sources:
+        try:
+            sources[path] = Path(path).read_text(encoding="utf-8")
+        except OSError:
+            sources[path] = ""
+    return sources[path].splitlines()
+
+
+# ---------------------------------------------------------------------------
+# orchestration
+
+
+@dataclass
+class ProjectRun:
+    """Everything a full lint invocation produced."""
+
+    findings: list[Finding]
+    files: list[Path]
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+def _finding_to_json(finding: Finding) -> list[Any]:
+    return [
+        finding.line, finding.col, finding.code, finding.message,
+        finding.fix.to_json() if finding.fix is not None else None,
+    ]
+
+
+def _finding_from_json(data: list[Any], path: Path) -> Finding:
+    line, col, code, message, fix = data
+    return Finding(
+        path=str(path), line=line, col=col, code=code, message=message,
+        fix=Fix.from_json(fix) if fix is not None else None,
+    )
+
+
+def run_project(
+    paths: Iterable[str | Path],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+    *,
+    cache: Any | None = None,
+) -> ProjectRun:
+    """The full two-pass lint over files and directories.
+
+    Findings are post-``noqa`` and post-selection but *not* baseline-
+    filtered — the baseline is a CLI-level policy. ``cache`` is a
+    :class:`~galiot_lint.cache.LintCache` (or ``None`` to run cold).
+    """
+    # Validate selection up front so typos fail before any file work.
+    _filter_codes([], select, ignore)
+    all_module_rules = [cls() for cls in MODULE_RULES]
+    project_rules = list(select_project_rules(select, ignore))
+    selected_codes = {
+        r.code for r in select_rules(select, ignore)
+    } | {r.code for r in project_rules} | ENGINE_CODES
+
+    files = iter_python_files(paths)
+    findings: list[Finding] = []
+    summaries: dict[str, ModuleSummary] = {}
+    sources: dict[str, str] = {}
+    for path in files:
+        cached = cache.lookup(path) if cache is not None else None
+        if cached is not None:
+            summary, findings_json = cached
+            summary.path = str(path)
+            local = [_finding_from_json(f, path) for f in findings_json]
+        else:
+            try:
+                source = path.read_text(encoding="utf-8")
+            except OSError as exc:
+                findings.append(
+                    Finding(
+                        path=str(path), line=1, col=0, code="GL900",
+                        message=f"cannot read file: {exc}",
+                    )
+                )
+                continue
+            sources[str(path)] = source
+            local, summary = _lint_module(source, path, all_module_rules)
+            if cache is not None and summary is not None:
+                cache.store(
+                    path, source, summary,
+                    [_finding_to_json(f) for f in local],
+                )
+        findings.extend(local)
+        if summary is not None:
+            summaries[str(path)] = summary
+            findings.extend(_noqa_warnings(summary, path))
+    findings.extend(_project_findings(summaries, project_rules, sources))
+    if cache is not None:
+        cache.save()
+    findings = [f for f in findings if f.code in selected_codes]
+    return ProjectRun(
+        findings=sorted(findings),
+        files=files,
+        cache_hits=cache.hits if cache is not None else 0,
+        cache_misses=cache.misses if cache is not None else 0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# v1-compatible library surface
+
+
+def lint_source(
+    source: str,
+    path: str | Path,
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Lint one module's source text; ``path`` is used for reporting.
+
+    With ``rules=None`` the full v2 set runs — per-module rules plus
+    the cross-module rules against a single-module project model (so
+    e.g. GL104 still catches root-seed reuse inside one file). Passing
+    an explicit ``rules`` sequence runs exactly those per-module rules,
+    matching the v1 contract.
+    """
+    path = Path(path)
+    explicit = rules is not None
+    module_rules = (
+        list(rules) if rules is not None
+        else [cls() for cls in MODULE_RULES]
+    )
+    findings, summary = _lint_module(source, path, module_rules)
+    if summary is None or explicit:
+        return findings
+    findings = findings + _noqa_warnings(summary, path)
+    findings += _project_findings(
+        {str(path): summary},
+        [cls() for cls in PROJECT_RULES],
+        {str(path): source},
+    )
     return sorted(findings)
 
 
@@ -152,9 +433,9 @@ def lint_paths(
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
 ) -> list[Finding]:
-    """Lint files and directories; the main library entry point."""
-    rules = select_rules(select, ignore)
-    findings: list[Finding] = []
-    for path in iter_python_files(paths):
-        findings.extend(lint_file(path, rules))
-    return sorted(findings)
+    """Lint files and directories; the main library entry point.
+
+    Runs the full two-pass analysis (cross-module rules included) with
+    no cache and no baseline — library callers get ground truth.
+    """
+    return run_project(paths, select=select, ignore=ignore).findings

@@ -1,0 +1,107 @@
+"""Autofix support: single-line text edits attached to findings.
+
+Fixes are deliberately dumb — a ``(line, col_start, col_end,
+replacement)`` splice into one physical line — because every fixable
+rule is mechanical (wrap an iterable in ``sorted(...)``, widen a bare
+``except:``). Dumb edits are idempotent by construction: after the
+splice the rule no longer matches, so a second ``--fix`` pass is a
+no-op.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from .engine import Finding
+
+__all__ = ["Fix", "apply_fixes", "bare_except_fix", "sorted_wrap_fix"]
+
+
+@dataclass(frozen=True)
+class Fix:
+    """Replace ``line[col_start:col_end]`` (0-based) with ``replacement``."""
+
+    line: int
+    col_start: int
+    col_end: int
+    replacement: str
+
+    def to_json(self) -> list:
+        return [self.line, self.col_start, self.col_end, self.replacement]
+
+    @classmethod
+    def from_json(cls, data: list) -> Fix:
+        return cls(*data)
+
+
+_BARE_EXCEPT_RE = re.compile(r"except\s*:")
+
+
+def bare_except_fix(line_no: int, col: int, text: str) -> Fix | None:
+    """GL304 autofix: ``except:`` → ``except Exception:``."""
+    match = _BARE_EXCEPT_RE.match(text[col:])
+    if match is None:
+        return None
+    return Fix(
+        line=line_no,
+        col_start=col,
+        col_end=col + match.end(),
+        replacement="except Exception:",
+    )
+
+
+def sorted_wrap_fix(span: list, text: str) -> Fix | None:
+    """GL103 autofix: wrap a single-line iterable span in ``sorted(...)``."""
+    line, col_start, end_line, col_end = span
+    if end_line != line or col_end > len(text):
+        return None
+    segment = text[col_start:col_end]
+    if segment.startswith("sorted("):
+        return None
+    return Fix(
+        line=line,
+        col_start=col_start,
+        col_end=col_end,
+        replacement=f"sorted({segment})",
+    )
+
+
+def apply_fixes(source: str, findings: list[Finding]) -> tuple[str, int]:
+    """Splice every finding's fix into ``source``; returns (text, count).
+
+    Overlapping fixes on the same line keep only the first (outermost)
+    edit — the next lint run re-derives the rest against fresh offsets.
+    """
+    fixes = sorted(
+        {f.fix for f in findings if f.fix is not None},
+        key=lambda fx: (fx.line, fx.col_start),
+        reverse=True,
+    )
+    lines = source.splitlines(keepends=True)
+    applied = 0
+    used_spans: dict[int, list[tuple[int, int]]] = {}
+    for fix in fixes:
+        if not 0 < fix.line <= len(lines):
+            continue
+        taken = used_spans.setdefault(fix.line, [])
+        if any(
+            fix.col_start < hi and lo < fix.col_end for lo, hi in taken
+        ):
+            continue
+        text = lines[fix.line - 1]
+        body = text.rstrip("\r\n")
+        tail = text[len(body):]
+        if fix.col_end > len(body):
+            continue
+        lines[fix.line - 1] = (
+            body[: fix.col_start]
+            + fix.replacement
+            + body[fix.col_end:]
+            + tail
+        )
+        taken.append((fix.col_start, fix.col_end))
+        applied += 1
+    return "".join(lines), applied

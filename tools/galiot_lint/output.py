@@ -1,0 +1,118 @@
+"""Report renderers: ruff-style text, JSON, and SARIF 2.1.0.
+
+SARIF is the format GitHub's code-scanning upload understands, which
+turns lint findings into inline PR annotations; the emitted document is
+the minimal valid subset (one run, one tool, physical locations with
+1-based lines/columns).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from .engine import Finding
+
+__all__ = ["render_text", "render_json", "render_sarif"]
+
+
+def render_text(findings: list[Finding]) -> str:
+    """One ``path:line:col: CODE message`` line per finding."""
+    return "\n".join(f.render() for f in findings)
+
+
+def render_json(findings: list[Finding]) -> str:
+    """Machine-readable list of finding objects."""
+    doc = [
+        {
+            "path": f.path,
+            "line": f.line,
+            "col": f.col,
+            "code": f.code,
+            "message": f.message,
+            "fixable": f.fix is not None,
+        }
+        for f in findings
+    ]
+    return json.dumps(doc, indent=2)
+
+
+def _rel_uri(path: str, root: Path) -> str:
+    try:
+        return Path(path).resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return Path(path).as_posix()
+
+
+def render_sarif(
+    findings: list[Finding],
+    root: Path,
+    rule_docs: dict[str, str],
+    version: str,
+) -> str:
+    """SARIF 2.1.0 document for GitHub code-scanning annotations."""
+    used_codes = sorted({f.code for f in findings} | set(rule_docs))
+    rules = []
+    for code in used_codes:
+        doc = rule_docs.get(code, "")
+        short = doc.strip().splitlines()[0] if doc.strip() else code
+        rules.append(
+            {
+                "id": code,
+                "shortDescription": {"text": short},
+                "fullDescription": {"text": doc.strip() or short},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    index = {rule["id"]: i for i, rule in enumerate(rules)}
+    results = [
+        {
+            "ruleId": f.code,
+            "ruleIndex": index.get(f.code, 0),
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _rel_uri(f.path, root),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    doc = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "galiot-lint",
+                        "version": version,
+                        "informationUri": (
+                            "https://github.com/"  # repo-relative tool
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": root.resolve().as_uri() + "/"}
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2)

@@ -1,0 +1,235 @@
+"""Cross-module rules: checks that need the whole-project model.
+
+A :class:`ProjectRule` runs once per lint invocation against the
+:class:`~galiot_lint.semantic.ProjectModel` (never against raw ASTs —
+summaries are what the cache stores, so these rules stay correct on a
+fully warm cache where no file was re-parsed). Each yields
+``(path, line, col, message, fix_span)`` tuples; ``fix_span`` is
+``None`` or a single-line span the engine can wrap for autofixing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from .semantic import ModuleSummary, ProjectModel
+
+__all__ = ["ProjectRule", "PROJECT_RULES", "project_rules_by_code"]
+
+#: A project finding: (path, line, col, message, fix_span|None).
+Site = tuple[str, int, int, str, list | None]
+
+
+class ProjectRule:
+    """Base class: one code, one check over the linked project model."""
+
+    code: str = "GL100"
+    name: str = "base-project-rule"
+
+    def check_project(self, model: ProjectModel) -> Iterator[Site]:
+        raise NotImplementedError
+
+    @classmethod
+    def explain(cls) -> str:
+        """Full rule documentation (the class docstring)."""
+        return cls.__doc__ or "(undocumented)"
+
+
+def _is_test_module(summary: ModuleSummary) -> bool:
+    name = summary.module
+    last = name.rpartition(".")[2]
+    return (
+        last.startswith("test_")
+        or last == "conftest"
+        or "tests" in name.split(".")
+    )
+
+
+class UnseededRngReachable(ProjectRule):
+    """GL101: unseeded randomness reachable from a seeded contract.
+
+    The fault/chaos layer (PR 5) and every ``repro.net`` scene builder
+    promise bit-identical replays from a scenario seed. That promise is
+    global: one ``np.random.default_rng()`` (no seed), one legacy
+    ``np.random.normal(...)`` or one stdlib ``random.random()`` call
+    *anywhere in the call graph below* a seeded entry point (a public
+    function taking ``rng``/``seed``) silently injects fresh OS entropy
+    or process-global state into a "deterministic" run. Module-level
+    draws are flagged unconditionally — they execute at import time,
+    before any seed exists. Thread the caller's ``Generator`` down
+    instead.
+    """
+
+    code = "GL101"
+    name = "unseeded-rng-reachable"
+
+    def check_project(self, model: ProjectModel) -> Iterator[Site]:
+        for summary in model.modules.values():
+            if _is_test_module(summary):
+                continue
+            for line, col, desc in summary.module_rng_sites:
+                yield (
+                    summary.path, line, col,
+                    f"module-level {desc}: runs at import time, outside "
+                    "any seed's control — construct generators inside "
+                    "the seeded entry point and thread them through",
+                    None,
+                )
+        seeded = model.seeded_entry_points()
+        reachable = model.reachable_from(seeded)
+        reachable.update(seeded)
+        for key in sorted(reachable):
+            module, _, qual = key.partition(":")
+            summary = model.modules.get(module)
+            if summary is None or _is_test_module(summary):
+                continue
+            info = summary.functions.get(qual)
+            if info is None:
+                continue
+            for line, col, desc in info.rng_sites:
+                yield (
+                    summary.path, line, col,
+                    f"{desc} inside {qual}(), which is reachable from a "
+                    "seeded entry point: thread the seeded "
+                    "numpy.random.Generator through instead of drawing "
+                    "fresh entropy",
+                    None,
+                )
+
+
+class UnorderedIterationMerge(ProjectRule):
+    """GL103: iteration over a set feeds an order-sensitive merge.
+
+    Set iteration order varies with insertion history and hash
+    randomization, so a loop over a ``set``/``frozenset`` that appends,
+    yields, writes or accumulates builds a different sequence on every
+    run — the failure mode ``ParallelCloudService.drain()`` avoids by
+    merging ``for seq in sorted(done)``. The rule resolves iterables
+    through the project symbol table, so iterating a *call* to a
+    function annotated ``-> set[...]`` in another module is caught too.
+    Autofix wraps the iterable in ``sorted(...)``.
+    """
+
+    code = "GL103"
+    name = "unordered-iteration-merge"
+
+    def check_project(self, model: ProjectModel) -> Iterator[Site]:
+        set_returning: set[str] = set()
+        for summary in model.modules.values():
+            for qual in summary.set_returning:
+                set_returning.add(f"{summary.module}:{qual}")
+        for summary in model.modules.values():
+            if _is_test_module(summary):
+                continue
+            for line, col, kind, ref, span in summary.set_iter_sites:
+                if kind == "call":
+                    key = model.resolve_call(summary, "", ref)
+                    if key is None or key not in set_returning:
+                        continue
+                    detail = (
+                        f"{ref}() returns a set (per its annotation)"
+                    )
+                else:
+                    detail = "the iterable is a set"
+                yield (
+                    summary.path, line, col,
+                    f"iteration order feeds an order-sensitive merge but "
+                    f"{detail}: wrap it in sorted(...) so replays and "
+                    "worker schedules cannot reorder the result",
+                    span,
+                )
+
+
+class RootSeedReuse(ProjectRule):
+    """GL104: one root seed constructs several independent generators.
+
+    ``np.random.default_rng(seed)`` called twice with the same bare
+    seed yields two generators emitting *identical* streams — scene
+    noise correlated with fault jitter, or two "independent" campaigns
+    replaying each other. The repo idiom is tuple-derived child seeds:
+    ``np.random.default_rng((seed, k))`` (see ``repro.faults``). The
+    rule is call-graph aware: passing ``seed=`` to a function that
+    derives child seeds internally (like ``build_scenario``) does not
+    count as a use, while passing it to a function that feeds it
+    straight into ``default_rng`` does.
+    """
+
+    code = "GL104"
+    name = "root-seed-reuse"
+
+    def check_project(self, model: ProjectModel) -> Iterator[Site]:
+        for summary in model.modules.values():
+            if _is_test_module(summary):
+                continue
+            for qual, info in summary.functions.items():
+                uses: dict[str, list[tuple[int, int]]] = {}
+                for line, col, expr, use_kind in info.seed_uses:
+                    if use_kind == "direct":
+                        uses.setdefault(expr, []).append((line, col))
+                        continue
+                    raw_callee = use_kind.partition(":")[2]
+                    role = model.seed_role(summary, raw_callee)
+                    if role == "consumer":
+                        uses.setdefault(expr, []).append((line, col))
+                for expr, sites in sorted(uses.items()):
+                    if len(sites) < 2:
+                        continue
+                    for line, col in sites[1:]:
+                        yield (
+                            summary.path, line, col,
+                            f"root seed {expr!r} already built a "
+                            f"generator at line {sites[0][0]} of "
+                            f"{qual}(): identical streams — derive a "
+                            "child seed instead, e.g. "
+                            f"np.random.default_rng(({expr}, k))",
+                            None,
+                        )
+
+
+class WorkerGlobalMutation(ProjectRule):
+    """GL301: a pool-worker function mutates module-global state.
+
+    Functions handed to an executor (``submit``/``map`` targets,
+    ``initializer=``) — and everything they call — run in worker
+    processes/threads. Writing a module global from there either
+    vanishes silently (process pool: the write lands in the child's
+    copy) or races (thread pool). Worker state belongs in a
+    module-level ``threading.local()`` (the ``_worker`` pattern in
+    ``repro.cloud.parallel``), which this rule recognizes and exempts.
+    """
+
+    code = "GL301"
+    name = "worker-global-mutation"
+
+    def check_project(self, model: ProjectModel) -> Iterator[Site]:
+        workers = model.worker_functions()
+        for key in sorted(workers):
+            module, _, qual = key.partition(":")
+            summary = model.modules.get(module)
+            if summary is None or _is_test_module(summary):
+                continue
+            info = summary.functions.get(qual)
+            if info is None:
+                continue
+            for line, col, name in info.global_writes:
+                yield (
+                    summary.path, line, col,
+                    f"{qual}() runs inside pool workers but mutates "
+                    f"module global {name!r}: the write is lost "
+                    "(process pool) or races (threads) — keep worker "
+                    "state in a module-level threading.local()",
+                    None,
+                )
+
+
+PROJECT_RULES: tuple[type[ProjectRule], ...] = (
+    UnseededRngReachable,
+    UnorderedIterationMerge,
+    RootSeedReuse,
+    WorkerGlobalMutation,
+)
+
+
+def project_rules_by_code() -> dict[str, type[ProjectRule]]:
+    """Mapping ``"GL101" -> rule class`` for selection and ``--explain``."""
+    return {rule.code: rule for rule in PROJECT_RULES}

@@ -96,6 +96,25 @@ def _is_private(name: str) -> bool:
     )
 
 
+#: Packages whose modules are scripts/fixtures, not public API surface.
+_SCRIPT_PACKAGES = frozenset({"tests", "benchmarks"})
+
+
+def _is_script_context(context: ModuleContext) -> bool:
+    """Test/benchmark modules: entry scripts, not ``repro.*`` API.
+
+    The API-surface rules (GL001 boundary guards, GL004 annotation
+    coverage) target the importable library; pytest/pytest-benchmark
+    driver functions have no callers to protect.
+    """
+    return (
+        bool(set(context.package_parts) & _SCRIPT_PACKAGES)
+        or context.module_name.startswith("test_")
+        or context.module_name.startswith("bench_")
+        or context.module_name == "conftest"
+    )
+
+
 def _iter_functions(
     tree: ast.Module,
 ) -> Iterator[tuple[FunctionNode, ast.ClassDef | None]]:
@@ -176,7 +195,8 @@ class IqBoundaryGuard(Rule):
     ``@iq_contract`` / ``@real_contract`` decorator so the sanitize
     modes can validate the buffer where it *enters*.
 
-    Abstract/stub bodies (interface definitions) are exempt.
+    Abstract/stub bodies (interface definitions) and test/benchmark
+    scripts (no external callers) are exempt.
     """
 
     code = "GL001"
@@ -185,6 +205,8 @@ class IqBoundaryGuard(Rule):
     def check(
         self, tree: ast.Module, context: ModuleContext
     ) -> Iterator[tuple[int, int, str]]:
+        if _is_script_context(context):
+            return
         for func, _parent in _iter_functions(tree):
             if _is_private(func.name):
                 continue
@@ -301,8 +323,8 @@ class PublicMissingAnnotations(Rule):
     Every public function and method in ``repro.*`` must annotate all
     parameters and its return type — the annotations are what make the
     I/Q plumbing auditable (and what mypy checks on the strict
-    modules). ``self``/``cls``, ``*args``/``**kwargs`` and dunder
-    return types are exempt.
+    modules). ``self``/``cls``, ``*args``/``**kwargs``, dunder return
+    types and test/benchmark scripts are exempt.
     """
 
     code = "GL004"
@@ -311,6 +333,8 @@ class PublicMissingAnnotations(Rule):
     def check(
         self, tree: ast.Module, context: ModuleContext
     ) -> Iterator[tuple[int, int, str]]:
+        if _is_script_context(context):
+            return
         for func, parent in _iter_functions(tree):
             if _is_private(func.name):
                 continue

@@ -1,0 +1,814 @@
+"""Pass 1 of the project-aware linter: per-module fact extraction.
+
+``galiot-lint`` v2 runs in two passes. This module implements the first:
+every file is parsed **once** and compressed into a :class:`ModuleSummary`
+— a JSON-serializable bag of facts (imports, functions, call sites,
+RNG/clock/seed usage, module-global writes, worker registrations,
+set-iteration sites, ``noqa`` pragmas). Summaries are what the on-disk
+cache stores, so a warm run never re-parses unchanged files; the
+cross-module rules in :mod:`.project_rules` consume summaries only,
+never raw ASTs.
+
+:class:`ProjectModel` links the summaries: it resolves imports to
+project modules, builds the (approximate) call graph, and answers the
+reachability queries the GL1xx/GL3xx rules need — "which functions are
+reachable from a seeded-contract entry point?", "which functions run
+inside pool workers?".
+
+Name resolution is deliberately approximate (no type inference): a call
+``mod.f()`` resolves through the import table, ``self.m()`` resolves to
+the enclosing class, and anything else is dropped. Dropped edges make
+the reachability rules *under*-report, never over-report — the right
+failure mode for a lint gate.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "FunctionSummary",
+    "ModuleSummary",
+    "ProjectModel",
+    "extract_module",
+    "module_name_for",
+    "parse_noqa",
+]
+
+#: Legacy numpy global-RNG draw functions (``np.random.<name>``).
+LEGACY_NP_RANDOM = frozenset({
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "normal", "uniform", "choice", "shuffle", "permutation",
+    "poisson", "exponential", "standard_normal", "bytes", "beta",
+    "binomial", "gamma", "rayleigh", "seed", "RandomState", "get_state",
+    "set_state",
+})
+
+#: Stdlib ``random`` module draw/state functions.
+STDLIB_RANDOM = frozenset({
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "gauss", "normalvariate", "expovariate",
+    "betavariate", "gammavariate", "seed", "getrandbits", "triangular",
+})
+
+#: Wall-clock reads/operations forbidden on simulated-time paths.
+WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.monotonic", "time.perf_counter",
+    "time.process_time", "time.sleep", "time.monotonic_ns",
+    "time.time_ns", "time.perf_counter_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9,\s]+))?", re.IGNORECASE)
+
+_CODE_RE = re.compile(r"^GL\d{3}$")
+
+#: Another linter's code (ruff/flake8/pycodestyle style, e.g. ``F401``,
+#: ``E731``, ``NPY002``): legitimate in a shared ``# noqa`` comment and
+#: silently ignored by galiot-lint rather than reported as malformed.
+_FOREIGN_CODE_RE = re.compile(r"^[A-Z]{1,8}\d{1,4}$")
+
+
+def parse_noqa(lines: list[str]) -> tuple[dict[int, Any], list[tuple[int, str]]]:
+    """Scan physical lines for ``# noqa`` pragmas.
+
+    Returns ``(noqa_map, malformed)`` where ``noqa_map`` maps a 1-based
+    line number to either the string ``"all"`` (bare ``# noqa``) or a
+    list of rule codes, and ``malformed`` lists ``(line, token)`` pairs
+    for tokens that do not even look like rule codes (``GLxxx``). Codes
+    that are well-formed but unknown are validated later by the engine
+    (it knows the registry) and reported as GL901 warnings instead of
+    being silently ignored.
+    """
+    noqa: dict[int, Any] = {}
+    malformed: list[tuple[int, str]] = []
+    for n, text in enumerate(lines, start=1):
+        if "noqa" not in text and "NOQA" not in text:
+            continue
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        raw = match.group("codes")
+        if not raw:
+            noqa[n] = "all"
+            continue
+        codes = []
+        for token in raw.split(","):
+            token = token.strip().upper()
+            if not token:
+                continue
+            if _CODE_RE.match(token):
+                codes.append(token)
+            elif not _FOREIGN_CODE_RE.match(token):
+                malformed.append((n, token))
+        noqa[n] = codes
+    return noqa, malformed
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for a file, anchored at known repo roots.
+
+    ``.../src/repro/cloud/parallel.py`` → ``repro.cloud.parallel``;
+    ``.../tools/galiot_lint/engine.py`` → ``galiot_lint.engine``;
+    ``.../benchmarks/bench_x.py`` → ``benchmarks.bench_x``. Anything
+    else falls back to the parts after the last recognizable anchor, or
+    the bare stem.
+    """
+    parts = [p for p in path.parts if p not in (".", "..")]
+    stem = path.stem
+    leaf = [] if stem == "__init__" else [stem]
+    for anchor in ("src", "tools"):
+        if anchor in parts[:-1]:
+            idx = len(parts) - 1 - parts[:-1][::-1].index(anchor)
+            tail = parts[idx:-1] + leaf
+            if tail:
+                return ".".join(tail)
+    for anchor in ("benchmarks", "tests", "examples"):
+        if anchor in parts[:-1]:
+            idx = len(parts) - 1 - parts[:-1][::-1].index(anchor) - 1
+            tail = parts[idx:-1] + leaf
+            if tail:
+                return ".".join(tail)
+    return stem
+
+
+@dataclass
+class FunctionSummary:
+    """Cross-module-relevant facts about one function or method."""
+
+    qualname: str  # "func" or "Class.method"
+    line: int
+    col: int
+    public: bool
+    params: list[str] = field(default_factory=list)
+    has_rng_param: bool = False
+    has_seed_param: bool = False
+    calls: list[tuple[str, int]] = field(default_factory=list)
+    rng_sites: list[tuple[int, int, str]] = field(default_factory=list)
+    seed_uses: list[tuple[int, int, str, str]] = field(default_factory=list)
+    seed_role: str = ""  # "consumer" | "deriver" | ""
+    global_writes: list[tuple[int, int, str]] = field(default_factory=list)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "qualname": self.qualname, "line": self.line, "col": self.col,
+            "public": self.public, "params": self.params,
+            "has_rng_param": self.has_rng_param,
+            "has_seed_param": self.has_seed_param,
+            "calls": [list(c) for c in self.calls],
+            "rng_sites": [list(s) for s in self.rng_sites],
+            "seed_uses": [list(s) for s in self.seed_uses],
+            "seed_role": self.seed_role,
+            "global_writes": [list(w) for w in self.global_writes],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> FunctionSummary:
+        return cls(
+            qualname=data["qualname"], line=data["line"], col=data["col"],
+            public=data["public"], params=list(data["params"]),
+            has_rng_param=data["has_rng_param"],
+            has_seed_param=data["has_seed_param"],
+            calls=[tuple(c) for c in data["calls"]],
+            rng_sites=[tuple(s) for s in data["rng_sites"]],
+            seed_uses=[tuple(s) for s in data["seed_uses"]],
+            seed_role=data["seed_role"],
+            global_writes=[tuple(w) for w in data["global_writes"]],
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """Everything the project pass needs to know about one module."""
+
+    module: str
+    path: str
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionSummary] = field(default_factory=dict)
+    set_returning: list[str] = field(default_factory=list)
+    module_rng_sites: list[tuple[int, int, str]] = field(default_factory=list)
+    worker_registrations: list[tuple[str, int]] = field(default_factory=list)
+    set_iter_sites: list[list[Any]] = field(default_factory=list)
+    threading_locals: list[str] = field(default_factory=list)
+    noqa: dict[int, Any] = field(default_factory=dict)
+    malformed_noqa: list[tuple[int, str]] = field(default_factory=list)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "module": self.module, "path": self.path,
+            "imports": self.imports,
+            "functions": {
+                k: f.to_json() for k, f in self.functions.items()
+            },
+            "set_returning": self.set_returning,
+            "module_rng_sites": [list(s) for s in self.module_rng_sites],
+            "worker_registrations": [
+                list(w) for w in self.worker_registrations
+            ],
+            "set_iter_sites": self.set_iter_sites,
+            "threading_locals": self.threading_locals,
+            "noqa": {str(k): v for k, v in self.noqa.items()},
+            "malformed_noqa": [list(m) for m in self.malformed_noqa],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> ModuleSummary:
+        return cls(
+            module=data["module"], path=data["path"],
+            imports=dict(data["imports"]),
+            functions={
+                k: FunctionSummary.from_json(f)
+                for k, f in data["functions"].items()
+            },
+            set_returning=list(data["set_returning"]),
+            module_rng_sites=[tuple(s) for s in data["module_rng_sites"]],
+            worker_registrations=[
+                tuple(w) for w in data["worker_registrations"]
+            ],
+            set_iter_sites=[list(s) for s in data["set_iter_sites"]],
+            threading_locals=list(data["threading_locals"]),
+            noqa={int(k): v for k, v in data["noqa"].items()},
+            malformed_noqa=[tuple(m) for m in data["malformed_noqa"]],
+        )
+
+
+# ---------------------------------------------------------------------------
+# AST helpers shared with the flow rules
+
+
+def dotted_name(node: ast.expr) -> str:
+    """``a.b.c`` for a Name/Attribute chain, ``""`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def is_bare_ref(node: ast.expr) -> bool:
+    """True for a plain Name or Attribute chain (``seed``, ``args.seed``)."""
+    return bool(dotted_name(node))
+
+
+class _ImportTable:
+    """alias → fully dotted target, from a module's import statements."""
+
+    def __init__(self) -> None:
+        self.aliases: dict[str, str] = {}
+
+    def add_import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            name = alias.asname or alias.name.split(".")[0]
+            target = alias.name if alias.asname else alias.name.split(".")[0]
+            self.aliases[name] = target
+
+    def add_import_from(self, node: ast.ImportFrom, module: str) -> None:
+        if node.level:
+            # Relative import: resolve against the current package.
+            pkg = module.split(".")
+            pkg = pkg[: len(pkg) - node.level]
+            base = ".".join(pkg + ([node.module] if node.module else []))
+        else:
+            base = node.module or ""
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            name = alias.asname or alias.name
+            self.aliases[name] = f"{base}.{alias.name}" if base else alias.name
+
+    def resolve(self, dotted: str) -> str:
+        """Expand the leading alias of ``dotted``, if it is imported."""
+        if not dotted:
+            return dotted
+        head, _, rest = dotted.partition(".")
+        target = self.aliases.get(head)
+        if target is None:
+            return dotted
+        return f"{target}.{rest}" if rest else target
+
+
+def _annotation_is_set(node: ast.expr | None) -> bool:
+    """Whether a return annotation is ``set[...]``/``frozenset[...]``."""
+    if node is None:
+        return False
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.split("[")[0] in ("set", "frozenset")
+    return isinstance(node, ast.Name) and node.id in ("set", "frozenset")
+
+
+def _unseeded_rng_call(call: ast.Call, resolved: str) -> str | None:
+    """Describe an unseeded / global-state RNG call, or ``None``.
+
+    ``resolved`` is the import-expanded dotted callee. Flags:
+    ``numpy.random.default_rng()`` with no arguments, any legacy
+    ``numpy.random.<draw>``, and any stdlib ``random.<draw>`` — all of
+    which either take fresh OS entropy or mutate process-global state.
+    """
+    if resolved == "numpy.random.default_rng":
+        if not call.args and not call.keywords:
+            return "np.random.default_rng() without a seed"
+        return None
+    head, _, tail = resolved.rpartition(".")
+    if head == "numpy.random" and tail in LEGACY_NP_RANDOM:
+        return f"legacy global-state np.random.{tail}()"
+    if head == "random" and tail in STDLIB_RANDOM:
+        return f"stdlib global-state random.{tail}()"
+    return None
+
+
+class _ModuleExtractor(ast.NodeVisitor):
+    """One walk over a module tree, filling a :class:`ModuleSummary`."""
+
+    def __init__(self, summary: ModuleSummary) -> None:
+        self.summary = summary
+        self.imports = _ImportTable()
+        self._class_stack: list[str] = []
+        self._func_stack: list[FunctionSummary] = []
+        self._module_globals: set[str] = set()
+
+    # -- imports ---------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        self.imports.add_import(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self.imports.add_import_from(node, self.summary.module)
+
+    # -- definitions -----------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if not self._func_stack:
+            self._module_globals.add(node.name)
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        if not self._func_stack and not self._class_stack:
+            self._module_globals.add(node.name)
+        qual = ".".join([*self._class_stack, node.name])
+        args = [
+            a.arg
+            for a in (
+                *node.args.posonlyargs, *node.args.args, *node.args.kwonlyargs
+            )
+        ]
+        info = FunctionSummary(
+            qualname=qual,
+            line=node.lineno,
+            col=node.col_offset,
+            public=not node.name.startswith("_") or (
+                node.name.startswith("__") and node.name.endswith("__")
+            ),
+            params=args,
+            has_rng_param="rng" in args,
+            has_seed_param="seed" in args,
+        )
+        # Nested defs fold their facts into the enclosing function: a
+        # closure runs (at the latest) when its parent's caller invokes
+        # it, which is the right granularity for reachability rules.
+        owner = self._func_stack[0] if self._func_stack else info
+        if owner is info:
+            self.summary.functions[qual] = info
+            if _annotation_is_set(node.returns):
+                self.summary.set_returning.append(qual)
+        self._func_stack.append(owner)
+        for child in node.body:
+            self.visit(child)
+        self._func_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # -- module-global writes --------------------------------------------
+
+    def _record_module_assign(self, node: ast.Assign | ast.AnnAssign) -> None:
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        value = node.value
+        is_tlocal = (
+            isinstance(value, ast.Call)
+            and self.imports.resolve(dotted_name(value.func))
+            in ("threading.local", "_thread._local")
+        )
+        for target in targets:
+            if isinstance(target, ast.Name):
+                self._module_globals.add(target.id)
+                if is_tlocal:
+                    self.summary.threading_locals.append(target.id)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if not self._func_stack:
+            self._record_module_assign(node)
+        else:
+            self._record_global_write(node.targets, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if not self._func_stack:
+            self._record_module_assign(node)
+        else:
+            self._record_global_write([node.target], node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if self._func_stack:
+            self._record_global_write([node.target], node)
+        self.generic_visit(node)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        if self._func_stack:
+            info = self._func_stack[-1]
+            for name in node.names:
+                info.global_writes.append(
+                    (node.lineno, node.col_offset, name)
+                )
+
+    def _record_global_write(
+        self, targets: list[ast.expr], node: ast.stmt
+    ) -> None:
+        """Mutation of a module-level binding from inside a function."""
+        info = self._func_stack[-1]
+        declared = {p for p in info.params}
+        for target in targets:
+            base = target
+            while isinstance(base, (ast.Attribute, ast.Subscript)):
+                base = base.value
+            if not isinstance(base, ast.Name):
+                continue
+            name = base.id
+            if name in declared or name not in self._module_globals:
+                continue
+            if base is target:
+                continue  # plain `x = ...` rebinds a local shadow
+            if name in self.summary.threading_locals:
+                continue  # the sanctioned per-worker state pattern
+            info.global_writes.append(
+                (node.lineno, node.col_offset, name)
+            )
+
+    # -- calls -----------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        raw = dotted_name(node.func)
+        resolved = self.imports.resolve(raw) if raw else ""
+        if self._func_stack:
+            info = self._func_stack[-1]
+            if raw:
+                info.calls.append((raw, node.lineno))
+        if resolved:
+            rng_desc = _unseeded_rng_call(node, resolved)
+            if rng_desc is not None:
+                site = (node.lineno, node.col_offset, rng_desc)
+                if self._func_stack:
+                    self._func_stack[-1].rng_sites.append(site)
+                else:
+                    self.summary.module_rng_sites.append(site)
+            self._record_seed_use(node, resolved, raw)
+            self._record_worker_registration(node, resolved)
+        self.generic_visit(node)
+
+    def _record_seed_use(
+        self, node: ast.Call, resolved: str, raw: str
+    ) -> None:
+        """Track how root-seed expressions flow into RNG constructions."""
+        if not self._func_stack:
+            return
+        info = self._func_stack[-1]
+        if resolved == "numpy.random.default_rng" and node.args:
+            arg = node.args[0]
+            if is_bare_ref(arg):
+                expr = ast.unparse(arg)
+                info.seed_uses.append(
+                    (node.lineno, node.col_offset, expr, "direct")
+                )
+                if info.has_seed_param and expr == "seed":
+                    info.seed_role = info.seed_role or "consumer"
+            elif info.has_seed_param and any(
+                isinstance(n, ast.Name) and n.id == "seed"
+                for n in ast.walk(arg)
+            ):
+                info.seed_role = "deriver"
+        else:
+            # ``f(..., seed=expr)`` / positional seed into a project
+            # factory: recorded raw, classified by the project pass once
+            # the callee's seed_role is known.
+            for kw in node.keywords:
+                if kw.arg == "seed" and is_bare_ref(kw.value):
+                    info.seed_uses.append(
+                        (
+                            node.lineno, node.col_offset,
+                            ast.unparse(kw.value), f"factory:{raw}",
+                        )
+                    )
+
+    def _record_worker_registration(
+        self, node: ast.Call, resolved: str
+    ) -> None:
+        """Functions handed to executors run in workers: record them."""
+        tail = resolved.rpartition(".")[2]
+        if tail in ("submit", "map"):
+            if node.args and (name := dotted_name(node.args[0])):
+                self.summary.worker_registrations.append(
+                    (name, node.lineno)
+                )
+        for kw in node.keywords:
+            if kw.arg == "initializer" and (
+                name := dotted_name(kw.value)
+            ):
+                self.summary.worker_registrations.append(
+                    (name, node.lineno)
+                )
+
+
+#: Loop-body method calls whose effect depends on iteration order.
+ORDER_SENSITIVE_METHODS = frozenset({
+    "append", "extend", "insert", "write", "writelines", "put", "send",
+})
+
+#: Builtins whose result is order-independent or explicitly ordered —
+#: iterating their output is never a GL103 concern.
+_ORDER_NEUTRAL_CALLS = frozenset({
+    "sorted", "enumerate", "range", "list", "tuple", "reversed", "zip",
+    "min", "max", "sum", "len", "dict", "items", "keys", "values",
+})
+
+
+def _own_nodes(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``root`` without descending into nested function/class defs."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef),
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _loop_body_order_sensitive(loop: ast.For) -> bool:
+    """Whether a for-loop body has effects that replay iteration order."""
+    for node in loop.body:
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Yield, ast.YieldFrom, ast.AugAssign)):
+                return True
+            if isinstance(sub, ast.Call):
+                func = sub.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in ORDER_SENSITIVE_METHODS
+                ):
+                    return True
+                if isinstance(func, ast.Name) and func.id == "print":
+                    return True
+            if isinstance(sub, ast.Assign) and any(
+                isinstance(t, ast.Subscript) for t in sub.targets
+            ):
+                return True
+    return False
+
+
+def _is_set_expr(node: ast.expr, set_names: set[str]) -> bool:
+    """Definitely-a-set expressions: literals, comprehensions, set()."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return isinstance(node, ast.Name) and node.id in set_names
+
+
+def _scope_set_names(own: list[ast.AST]) -> set[str]:
+    """Names bound to a definitely-set value within one scope."""
+    names: set[str] = set()
+    for node in own:
+        if isinstance(node, ast.Assign) and _is_set_expr(node.value, names):
+            names.update(
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            )
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            if _annotation_is_set(node.annotation) or (
+                node.value is not None and _is_set_expr(node.value, names)
+            ):
+                names.add(node.target.id)
+    return names
+
+
+def _collect_set_iter_sites(tree: ast.Module) -> list[list[Any]]:
+    """GL103 candidates: ``[line, col, kind, ref, span]`` records.
+
+    ``kind`` is ``"definite"`` (the iterable is provably a set) or
+    ``"call"`` (the iterable is a call whose return type only the
+    project symbol table knows — ``ref`` holds the raw dotted callee).
+    ``span`` is the iterable expression's single-line location for the
+    ``sorted(...)`` autofix, or ``None`` when it spans lines.
+    """
+    scopes: list[ast.AST] = [tree] + [
+        n
+        for n in ast.walk(tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    sites: list[list[Any]] = []
+    for scope in scopes:
+        own = list(_own_nodes(scope))
+        set_names = _scope_set_names(own)
+        candidates: list[tuple[ast.expr, bool]] = []
+        for node in own:
+            if isinstance(node, ast.For):
+                candidates.append(
+                    (node.iter, _loop_body_order_sensitive(node))
+                )
+            elif isinstance(node, ast.ListComp):
+                candidates.extend(
+                    (gen.iter, True) for gen in node.generators
+                )
+        for expr, sensitive in candidates:
+            if not sensitive:
+                continue
+            if _is_set_expr(expr, set_names):
+                kind, ref = "definite", ""
+            elif isinstance(expr, ast.Call) and (
+                raw := dotted_name(expr.func)
+            ):
+                tail = raw.rpartition(".")[2]
+                if tail in _ORDER_NEUTRAL_CALLS:
+                    continue
+                kind, ref = "call", raw
+            else:
+                continue
+            span = (
+                [
+                    expr.lineno, expr.col_offset,
+                    expr.end_lineno, expr.end_col_offset,
+                ]
+                if expr.end_lineno == expr.lineno
+                else None
+            )
+            sites.append([expr.lineno, expr.col_offset, kind, ref, span])
+    return sites
+
+
+def extract_module(
+    tree: ast.Module, path: Path, lines: list[str]
+) -> ModuleSummary:
+    """Build the :class:`ModuleSummary` for one parsed module."""
+    summary = ModuleSummary(
+        module=module_name_for(path), path=str(path)
+    )
+    noqa, malformed = parse_noqa(lines)
+    summary.noqa = noqa
+    summary.malformed_noqa = malformed
+    extractor = _ModuleExtractor(summary)
+    extractor.visit(tree)
+    summary.imports = dict(extractor.imports.aliases)
+    summary.set_iter_sites = _collect_set_iter_sites(tree)
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# pass 2 linkage
+
+
+class ProjectModel:
+    """Linked view over every extracted module: the semantic model.
+
+    Provides the resolution and reachability queries the cross-module
+    rules are written against. Construction is cheap (no AST work), so
+    the model is rebuilt from (possibly cached) summaries on every run.
+    """
+
+    def __init__(self, summaries: list[ModuleSummary]) -> None:
+        self.modules: dict[str, ModuleSummary] = {
+            s.module: s for s in summaries
+        }
+        #: "module:qual" → FunctionSummary, the global symbol table.
+        self.functions: dict[str, FunctionSummary] = {}
+        for s in summaries:
+            for qual, info in s.functions.items():
+                self.functions[f"{s.module}:{qual}"] = info
+        self._edges: dict[str, list[str]] = {}
+        for s in summaries:
+            for qual, info in s.functions.items():
+                key = f"{s.module}:{qual}"
+                self._edges[key] = [
+                    callee
+                    for raw, _line in info.calls
+                    if (callee := self.resolve_call(s, qual, raw))
+                ]
+
+    # -- resolution ------------------------------------------------------
+
+    def resolve_call(
+        self, summary: ModuleSummary, caller_qual: str, raw: str
+    ) -> str | None:
+        """Resolve a raw dotted callee to a ``module:qual`` key."""
+        if raw.startswith("self."):
+            cls = caller_qual.rpartition(".")[0]
+            if cls:
+                key = f"{summary.module}:{cls}.{raw[5:]}"
+                if key in self.functions:
+                    return key
+            return None
+        # Local function / method in the same module.
+        for candidate in (raw, raw.replace(".", ".", 1)):
+            key = f"{summary.module}:{candidate}"
+            if key in self.functions:
+                return key
+        # Through the import table.
+        resolved = _resolve_alias(summary.imports, raw)
+        if resolved is None:
+            return None
+        module, _, qual = resolved
+        key = f"{module}:{qual}"
+        if key in self.functions:
+            return key
+        # ``from x import Class`` then ``Class()`` → its __init__.
+        key = f"{module}:{qual}.__init__"
+        if key in self.functions:
+            return key
+        return None
+
+    def resolve_name(self, summary: ModuleSummary, raw: str) -> str | None:
+        """Resolve a raw dotted reference to a ``module:qual`` key."""
+        return self.resolve_call(summary, "", raw)
+
+    # -- reachability ----------------------------------------------------
+
+    def reachable_from(self, roots: list[str]) -> set[str]:
+        """Transitive closure over the call graph from ``roots``."""
+        seen: set[str] = set()
+        stack = [r for r in roots if r in self._edges]
+        while stack:
+            key = stack.pop()
+            if key in seen:
+                continue
+            seen.add(key)
+            stack.extend(
+                c for c in self._edges.get(key, ()) if c not in seen
+            )
+        return seen
+
+    def seeded_entry_points(self) -> list[str]:
+        """Public functions owning an ``rng``/``seed`` parameter.
+
+        These are the seeded-determinism contract surface: everything
+        they (transitively) call must draw randomness from the threaded
+        generator, never from fresh entropy or process-global state.
+        """
+        return [
+            key
+            for key, info in self.functions.items()
+            if info.public and (info.has_rng_param or info.has_seed_param)
+        ]
+
+    def worker_functions(self) -> set[str]:
+        """Functions (transitively) executed inside pool workers."""
+        roots: list[str] = []
+        for summary in self.modules.values():
+            for raw, _line in summary.worker_registrations:
+                key = self.resolve_name(summary, raw)
+                if key is not None:
+                    roots.append(key)
+        return self.reachable_from(roots)
+
+    def seed_role(self, summary: ModuleSummary, raw_callee: str) -> str:
+        """``seed_role`` of a project factory a root seed is passed to."""
+        key = self.resolve_call(summary, "", raw_callee)
+        if key is None:
+            return ""
+        return self.functions[key].seed_role
+
+
+def _resolve_alias(
+    imports: dict[str, str], raw: str
+) -> tuple[str, str, str] | None:
+    """Split an import-resolved dotted name into (module, sep, qualname).
+
+    ``mod.f`` with ``mod`` → ``repro.net.scene`` resolves to
+    ``("repro.net.scene", ".", "f")``; ``f`` with ``f`` →
+    ``repro.net.scene.f`` resolves the same way.
+    """
+    head, _, rest = raw.partition(".")
+    target = imports.get(head)
+    if target is None:
+        return None
+    full = f"{target}.{rest}" if rest else target
+    module, _, qual = full.rpartition(".")
+    if not module or not qual:
+        return None
+    return module, ".", qual
