@@ -1,0 +1,252 @@
+#!/usr/bin/env python
+"""Ingestion-service throughput and latency under fleet-scale load.
+
+Offers a simulated 10^6-device, three-tenant workload (Poisson
+superposition over :class:`~repro.net.traffic.DutyCycleProfile`
+populations) to the :class:`~repro.service.IngestionService` and
+records, per worker-pool size:
+
+* sustained decoded segments/sec over the whole run;
+* p50/p99 ingest-to-decode latency;
+* the deterministic admission ledger — and an A/B pair with admission
+  control on vs. off, so the shedding policy's effect on tail latency
+  is visible in one file.
+
+Two same-seed runs must produce identical
+accepted/rejected/quarantined/decoded ledgers (asserted below: the
+service's control plane runs on modeled time, so the ledger cannot
+depend on host speed). Wall-clock numbers are whatever this machine
+produced — ``cpu_count`` is in the JSON and ``underprovisioned`` flags
+runs where the sweep outgrew the host.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py          # full
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.cloud import ParallelCloudService  # noqa: E402
+from repro.net.traffic import DutyCycleProfile  # noqa: E402
+from repro.phy import create_modem  # noqa: E402
+from repro.service import (  # noqa: E402
+    AdmissionController,
+    AdmissionPolicy,
+    AutoscalePolicy,
+    AutoscalerModel,
+    IngestionService,
+    TenantQuota,
+    TenantWorkload,
+    generate_workload,
+    offered_rate_hz,
+)
+from repro.types import Segment  # noqa: E402
+
+FS = 250e3
+DEVICES = 1_000_000
+
+
+def build_workloads(devices: int) -> list[TenantWorkload]:
+    """Three tenants sharing the fleet (LoRa-heavy, like the paper)."""
+    return [
+        TenantWorkload(
+            "metering", "eu868",
+            DutyCycleProfile("lora", int(devices * 0.6), 0.001, 12),
+        ),
+        TenantWorkload(
+            "sensors", "us915",
+            DutyCycleProfile("xbee", int(devices * 0.3), 0.005, 16),
+        ),
+        TenantWorkload(
+            "alarms", "eu868",
+            DutyCycleProfile("zwave", int(devices * 0.1), 0.0005, 10),
+        ),
+    ]
+
+
+def make_admission() -> AdmissionController:
+    """The bench's admission arm: per-tenant quotas + backlog bound."""
+    return AdmissionController(
+        AdmissionPolicy(
+            default_quota=TenantQuota(rate_hz=2000.0, burst=48),
+            drain_rate_hz=5000.0,
+            max_backlog=256,
+        )
+    )
+
+
+def run_once(
+    arrivals: list,
+    modems: list,
+    workers: int,
+    admission: bool,
+    executor: str,
+) -> dict:
+    """One service run; returns the row dict (ledger + wall metrics)."""
+    if workers > 0:
+        policy = AutoscalePolicy(min_workers=workers, max_workers=workers)
+    else:
+        policy = AutoscalePolicy()
+    warmup = Segment(
+        start=0,
+        samples=np.zeros(4096, dtype=complex) + 1e-6,
+        sample_rate=FS,
+    )
+    with ParallelCloudService(
+        modems, FS, workers=max(policy.max_workers, 1), executor=executor
+    ) as farm:
+        # Touch every worker once so pool spin-up and module import cost
+        # is not billed to the measured run.
+        for _ in range(max(policy.max_workers, 1)):
+            farm.submit(warmup)
+        farm.drain()
+        farm.stats = type(farm.stats)()
+        service = IngestionService(
+            farm,
+            admission=make_admission() if admission else None,
+            autoscaler=AutoscalerModel(policy=policy),
+        )
+        t0 = time.perf_counter()
+        report = service.run(arrivals)
+        elapsed = time.perf_counter() - t0
+    return {
+        "workers": workers if workers > 0 else "auto",
+        "admission": admission,
+        "seconds": elapsed,
+        "segments_per_sec": report.sustained_rate_hz,
+        "latency_p50_ms": report.latency_percentile(50) * 1e3,
+        "latency_p99_ms": report.latency_percentile(99) * 1e3,
+        "peak_workers": report.peak_workers,
+        "scale_events": report.scale_events,
+        "ledger": report.ledger.as_dict(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny stream + 1-2 workers: CI plumbing check, not a "
+        "measurement",
+    )
+    parser.add_argument(
+        "--workers", type=int, nargs="*", default=None,
+        help="fixed pool sizes to sweep (default: 1 2 4, smoke: 1 2)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=None,
+        help="arrival-stream budget (default: 120, smoke: 12)",
+    )
+    parser.add_argument(
+        "--executor", choices=["process", "thread"], default="thread",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_service.json"),
+    )
+    args = parser.parse_args(argv)
+    n_requests = args.requests or (12 if args.smoke else 120)
+    worker_counts = args.workers or ([1, 2] if args.smoke else [1, 2, 4])
+
+    workloads = build_workloads(DEVICES)
+    modems = [
+        create_modem(w.profile.technology) for w in workloads
+    ]
+    offered = offered_rate_hz(
+        workloads, {m.name: m for m in modems}
+    )
+    cpu_count = os.cpu_count() or 1
+    underprovisioned = cpu_count < max(worker_counts)
+    rng = np.random.default_rng(0xC0FFEE)
+    arrivals = generate_workload(
+        workloads, FS, 30.0, rng, max_requests=n_requests
+    )
+    print(
+        f"fleet: {DEVICES:,} devices, offered {offered:,.0f} seg/s "
+        f"(modeled); drawn {len(arrivals)} arrivals, cpu_count={cpu_count}"
+    )
+    if underprovisioned:
+        print(
+            f"WARNING: cpu_count={cpu_count} < max workers "
+            f"{max(worker_counts)} — scaling numbers below are "
+            "scheduling noise; rerun on a bigger box",
+            file=sys.stderr,
+        )
+
+    # Determinism gate: two same-seed runs, identical ledgers. This is
+    # the acceptance bar for the whole service tier and what the CI
+    # smoke job asserts under GALIOT_SANITIZE=raise.
+    ledger_a = run_once(
+        arrivals, modems, worker_counts[0], True, args.executor
+    )["ledger"]
+    ledger_b = run_once(
+        arrivals, modems, worker_counts[0], True, args.executor
+    )["ledger"]
+    deterministic = ledger_a == ledger_b
+    print(f"determinism: same-seed ledgers identical={deterministic}")
+
+    rows = []
+    for admission in (True, False):
+        for workers in worker_counts:
+            row = run_once(
+                arrivals, modems, workers, admission, args.executor
+            )
+            rows.append(row)
+            ledger = row["ledger"]
+            print(
+                f"w={row['workers']!s:<4} admission={str(admission):<5} : "
+                f"{row['seconds']:6.2f} s  "
+                f"{row['segments_per_sec']:6.2f} seg/s  "
+                f"p50 {row['latency_p50_ms']:8.2f} ms  "
+                f"p99 {row['latency_p99_ms']:8.2f} ms  "
+                f"({ledger['accepted']}/{ledger['offered']} admitted, "
+                f"{ledger['decoded_segments']} decoded)"
+            )
+    # One adaptive row showing the autoscaler's trace.
+    adaptive = run_once(arrivals, modems, 0, True, args.executor)
+    rows.append(adaptive)
+    print(
+        f"w=auto admission=True  : {adaptive['seconds']:6.2f} s  "
+        f"{adaptive['segments_per_sec']:6.2f} seg/s  "
+        f"peak={adaptive['peak_workers']} "
+        f"({adaptive['scale_events']} scale events)"
+    )
+
+    payload = {
+        "bench": "service",
+        "schema": 2,
+        "smoke": bool(args.smoke),
+        "cpu_count": cpu_count,
+        "underprovisioned": underprovisioned,
+        "devices": DEVICES,
+        "tenants": [w.tenant for w in workloads],
+        "offered_rate_hz": offered,
+        "n_requests": len(arrivals),
+        "executor": args.executor,
+        "deterministic_ledger": deterministic,
+        "runs": rows,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if not deterministic:
+        print(
+            "ERROR: same-seed runs produced different ledgers",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -487,6 +487,60 @@ class ParallelCloudService:
         telemetry lands in the worker sink, exactly as in a serial run)."""
         self._enqueue(compressed)
 
+    def submit_future(
+        self, payload: Segment | CompressedSegment
+    ) -> Future:
+        """Out-of-band decode: submit one segment, get its Future back.
+
+        The per-segment handle the asyncio ingestion tier
+        (:mod:`repro.service`) is built on: the caller awaits each
+        segment individually (``asyncio.wrap_future``) instead of
+        batching through :meth:`drain`, so completions can be observed
+        — and latencies measured — as they happen. The future resolves
+        to the worker's raw ``(results, stats, telemetry_snapshot)``
+        triple; :meth:`absorb_result` folds one into the parent's
+        aggregates (call it in a deterministic order for reproducible
+        rollups).
+
+        Differences from the :meth:`submit`/:meth:`drain` path: the
+        segment does not participate in :meth:`drain`'s merge or its
+        retry/requeue bookkeeping — error policy belongs to the caller
+        (the service retries then quarantines at its own layer). A
+        broken pool is still respawned on submission, and a staged
+        shared-memory block is released when the future settles,
+        whatever the outcome.
+        """
+        item = _Pending(
+            seq=self._seq,
+            payload=payload,
+            future=None,
+            generation=self._generation,
+        )
+        self._seq += 1
+        self._stage_shm(item)
+        self._dispatch(item)
+        if item.shm is not None:
+            # The parent owns the unlink; the callback fires on
+            # completion, cancellation and error alike.
+            item.future.add_done_callback(
+                lambda _f, it=item: self._release_shm(it)
+            )
+        self.telemetry.count("cloud.parallel.submitted")
+        return item.future
+
+    def absorb_result(self, result: _WorkerResult) -> list[DecodeResult]:
+        """Fold one :meth:`submit_future` result into stats/telemetry.
+
+        Returns the decode results. Callers that care about
+        reproducible aggregates must absorb results in a deterministic
+        order (e.g. segment-sequence order), exactly like
+        :meth:`drain` does.
+        """
+        results, stats, snapshot = result
+        self.stats.merge(stats)
+        self.telemetry.absorb_snapshot(snapshot)
+        return results
+
     # -- collection -------------------------------------------------------
 
     def drain(self) -> list[DecodeResult]:

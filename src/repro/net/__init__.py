@@ -13,7 +13,12 @@ from .multigateway import (
 from .propagation import LinkBudget, PathLossModel, Position, deployment_snrs
 from .scene import NOISE_POWER, SceneBuilder
 from .simulator import NetworkSimulator, SimulationResult, match_decodes
-from .traffic import collision_scene, poisson_scene
+from .traffic import (
+    DutyCycleProfile,
+    collision_scene,
+    fleet_arrival_times,
+    poisson_scene,
+)
 
 __all__ = [
     "frame_airtime",
@@ -39,4 +44,6 @@ __all__ = [
     "match_decodes",
     "collision_scene",
     "poisson_scene",
+    "DutyCycleProfile",
+    "fleet_arrival_times",
 ]

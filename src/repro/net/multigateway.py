@@ -100,7 +100,11 @@ def combine_segments(
         reference: A known waveform present in every copy (the
             technology's sync waveform) used to estimate each copy's
             delay, phase and amplitude.
-        search: How many lead/lag samples to search for alignment.
+        search: How many lead/lag samples around the first copy's peak
+            to search when aligning the other copies. Gateways trigger
+            on the same transmission, so relative delays are small;
+            bounding the search keeps a noise or sidelobe peak far away
+            in the capture from hijacking a copy's alignment.
 
     Returns:
         The combined stream, cropped to the shortest aligned copy. Each
@@ -108,16 +112,29 @@ def combine_segments(
         which is maximal-ratio combining when noise is equal per copy.
 
     Raises:
-        ConfigurationError: on empty input.
+        ConfigurationError: on empty input or a non-positive ``search``.
     """
     if not copies:
         raise ConfigurationError("no copies to combine")
+    if search < 1:
+        raise ConfigurationError("search must be >= 1")
     # Estimate per-copy delay and complex gain against the reference.
+    # The first copy's global peak anchors the frame position; every
+    # other copy's peak is constrained to ±search samples of it.
     aligned: list[tuple[np.ndarray, complex]] = []
     ref_energy = float(np.sum(np.abs(reference) ** 2))
+    anchor: int | None = None
     for copy in copies:
         corr = cross_correlate(copy.samples, reference)
-        peak = int(np.argmax(np.abs(corr)))
+        if anchor is None:
+            peak = int(np.argmax(np.abs(corr)))
+            anchor = peak
+        else:
+            # Clamp the window into the valid correlation range (a
+            # short copy may not even reach the anchor).
+            lo = max(0, min(anchor - search, len(corr) - 1))
+            hi = max(lo + 1, min(len(corr), anchor + search + 1))
+            peak = lo + int(np.argmax(np.abs(corr[lo:hi])))
         gain = complex(corr[peak] / ref_energy)
         aligned.append((copy.samples[peak:], gain))
     # Re-reference all copies to the first one's frame position.

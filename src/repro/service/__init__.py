@@ -1,0 +1,50 @@
+"""Multi-tenant ingestion service tier in front of the decode farm.
+
+The GalioT cloud, grown one layer outward: gateways ship detection
+segments, and this package is the front door that decides — per tenant,
+per band, deterministically — what the decode farm works on and when.
+
+Modules:
+    admission: Score/quota/backlog gates on the modeled time axis.
+    queues: Per-(tenant, band) FIFOs under score-priority scheduling.
+    autoscale: Queue-depth-driven worker-pool control law.
+    loadgen: Fleet-scale (10^6-device) Poisson workload generator.
+    ingest: The asyncio service orchestrating all of the above.
+"""
+
+from .admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionPolicy,
+    TenantQuota,
+)
+from .autoscale import AutoscaleDecision, AutoscalePolicy, AutoscalerModel
+from .ingest import (
+    CompletedSegment,
+    IngestionService,
+    QuarantinedEntry,
+    ServiceLedger,
+    ServiceReport,
+)
+from .loadgen import TenantWorkload, generate_workload, offered_rate_hz
+from .queues import QueuedSegment, ShardedQueues
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "TenantQuota",
+    "AutoscaleDecision",
+    "AutoscalePolicy",
+    "AutoscalerModel",
+    "CompletedSegment",
+    "IngestionService",
+    "QuarantinedEntry",
+    "ServiceLedger",
+    "ServiceReport",
+    "TenantWorkload",
+    "generate_workload",
+    "offered_rate_hz",
+    "QueuedSegment",
+    "ShardedQueues",
+]

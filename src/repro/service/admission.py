@@ -1,0 +1,200 @@
+"""Deterministic admission control for the ingestion tier.
+
+Admission is the *control plane* of :mod:`repro.service` and runs
+entirely on the modeled arrival-time axis — never the host clock — so
+that two runs over the same generated workload make identical
+accept/reject decisions no matter how fast the decode plane happens to
+drain (the repo's seeded-determinism contract, extended to the service
+tier). Three gates, applied in order:
+
+1. **Score floor** — segments whose best detection score is below
+   ``min_score`` are obvious noise the gateway shipped anyway; reject
+   before they cost queue space (reason ``"score"``).
+2. **Per-tenant quota** — a token bucket per tenant (sustained
+   ``rate_hz`` + ``burst`` depth) refilled on modeled time. Tenants
+   without a quota fall back to ``default_quota``; with no default they
+   are rejected outright (reason ``"unknown-tenant"``).
+3. **Global backlog bound** — a fluid model of the decode backlog:
+   arrivals add one segment, the modeled service capacity
+   (``drain_rate_hz``) drains it linearly between arrivals, and an
+   arrival that would push the modeled backlog past ``max_backlog`` is
+   shed (reason ``"backlog"``). Using the *modeled* drain rate instead
+   of live queue depth is what keeps the ledger reproducible; the
+   autoscaler reacts to the real queue, admission to the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from ..telemetry import NULL, Telemetry
+
+__all__ = [
+    "TenantQuota",
+    "AdmissionPolicy",
+    "AdmissionDecision",
+    "AdmissionController",
+]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Token-bucket quota for one tenant.
+
+    Attributes:
+        rate_hz: Sustained admitted-segment rate (tokens per modeled
+            second).
+        burst: Bucket depth — how many segments may be admitted
+            back-to-back after an idle stretch.
+    """
+
+    rate_hz: float
+    burst: int = 8
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0:
+            raise ConfigurationError("rate_hz must be positive")
+        if self.burst < 1:
+            raise ConfigurationError("burst must be >= 1")
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Everything the controller needs to decide accept/reject.
+
+    Attributes:
+        quotas: Per-tenant token buckets.
+        default_quota: Bucket applied to tenants absent from ``quotas``
+            (one bucket *per unknown tenant*, not shared); ``None``
+            rejects unknown tenants outright.
+        drain_rate_hz: Modeled decode capacity for the fluid backlog
+            bound (segments per modeled second).
+        max_backlog: Admitted-but-undrained segments the fluid model
+            tolerates before shedding load.
+        min_score: Detection-score floor; segments scoring below are
+            rejected as noise.
+    """
+
+    quotas: dict[str, TenantQuota] = field(default_factory=dict)
+    default_quota: TenantQuota | None = None
+    drain_rate_hz: float = 50.0
+    max_backlog: int = 256
+    min_score: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.drain_rate_hz <= 0:
+            raise ConfigurationError("drain_rate_hz must be positive")
+        if self.max_backlog < 1:
+            raise ConfigurationError("max_backlog must be >= 1")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one :meth:`AdmissionController.admit` call."""
+
+    accepted: bool
+    reason: str  # "ok" | "score" | "unknown-tenant" | "quota" | "backlog"
+    tenant: str
+    arrival_s: float
+
+
+@dataclass
+class _Bucket:
+    """Mutable token-bucket state for one tenant."""
+
+    tokens: float
+    last_s: float
+
+
+class AdmissionController:
+    """Stateful, deterministic admission gate.
+
+    Arrivals must be offered in non-decreasing modeled-time order (the
+    load generator emits them sorted; interleaving tenants is fine) —
+    token refill and backlog drain both integrate forward along that
+    axis, and rewinding it would rewrite decisions already made.
+
+    Args:
+        policy: The admission policy.
+        telemetry: Metrics sink; per-tenant accept/reject counters are
+            recorded under ``service.tenant.<tenant>.*`` scoped views
+            and totals under ``service.admission.*``.
+    """
+
+    def __init__(
+        self, policy: AdmissionPolicy, telemetry: Telemetry = NULL
+    ) -> None:
+        self.policy = policy
+        self.telemetry = telemetry
+        self._buckets: dict[str, _Bucket] = {}
+        self._backlog = 0.0
+        self._last_s = float("-inf")
+        self._tenant_sinks: dict[str, Telemetry] = {}
+
+    def _sink(self, tenant: str) -> Telemetry:
+        sink = self._tenant_sinks.get(tenant)
+        if sink is None:
+            sink = self.telemetry.scoped(f"service.tenant.{tenant}")
+            self._tenant_sinks[tenant] = sink
+        return sink
+
+    def drained_backlog(self, at_s: float) -> float:
+        """The fluid-model backlog after draining up to ``at_s``."""
+        if self._last_s == float("-inf"):
+            return self._backlog
+        elapsed = max(0.0, at_s - self._last_s)
+        return max(0.0, self._backlog - elapsed * self.policy.drain_rate_hz)
+
+    def admit(
+        self, tenant: str, arrival_s: float, score: float
+    ) -> AdmissionDecision:
+        """Decide one arrival; mutates quota and backlog state.
+
+        Raises:
+            ConfigurationError: when ``arrival_s`` precedes an arrival
+                already decided (the modeled clock only moves forward).
+        """
+        if arrival_s < self._last_s:
+            raise ConfigurationError(
+                f"non-monotonic arrival: {arrival_s:.6f}s is before the "
+                f"last decided arrival ({self._last_s:.6f}s)"
+            )
+        self._backlog = self.drained_backlog(arrival_s)
+        self._last_s = arrival_s
+
+        if score < self.policy.min_score:
+            return self._reject(tenant, arrival_s, "score")
+
+        quota = self.policy.quotas.get(tenant, self.policy.default_quota)
+        if quota is None:
+            return self._reject(tenant, arrival_s, "unknown-tenant")
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = _Bucket(
+                tokens=float(quota.burst), last_s=arrival_s
+            )
+        else:
+            bucket.tokens = min(
+                float(quota.burst),
+                bucket.tokens + (arrival_s - bucket.last_s) * quota.rate_hz,
+            )
+            bucket.last_s = arrival_s
+        if bucket.tokens < 1.0:
+            return self._reject(tenant, arrival_s, "quota")
+
+        if self._backlog + 1.0 > self.policy.max_backlog:
+            return self._reject(tenant, arrival_s, "backlog")
+
+        bucket.tokens -= 1.0
+        self._backlog += 1.0
+        self.telemetry.count("service.admission.accepted")
+        self._sink(tenant).count("accepted")
+        return AdmissionDecision(True, "ok", tenant, arrival_s)
+
+    def _reject(
+        self, tenant: str, arrival_s: float, reason: str
+    ) -> AdmissionDecision:
+        self.telemetry.count(f"service.admission.rejected.{reason}")
+        self._sink(tenant).count(f"rejected.{reason}")
+        return AdmissionDecision(False, reason, tenant, arrival_s)

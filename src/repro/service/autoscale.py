@@ -1,0 +1,128 @@
+"""Queue-depth-driven autoscaling model for the decode worker pool.
+
+A deliberately small control law, kept as a *pure model* (observe a
+depth, return a target) so it can be unit-tested deterministically and
+reasoned about separately from the asyncio plumbing that applies it:
+
+* scale **up** one worker when the backlog per active worker exceeds
+  ``high_watermark`` segments;
+* scale **down** one worker when it falls below ``low_watermark``;
+* never outside ``[min_workers, max_workers]``;
+* at most one step per ``cooldown_ticks`` observations (hysteresis —
+  a bursty queue must not make the pool flap).
+
+The asymmetric watermarks are the standard queue-control trick: the
+up threshold reflects decode cost (a deep backlog means latency is
+already compounding), the down threshold leaves headroom so a brief
+lull does not tear down capacity the next burst will need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+__all__ = ["AutoscalePolicy", "AutoscaleDecision", "AutoscalerModel"]
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Bounds and watermarks for the worker-pool control law."""
+
+    min_workers: int = 1
+    max_workers: int = 4
+    high_watermark: float = 8.0
+    low_watermark: float = 2.0
+    cooldown_ticks: int = 2
+
+    def __post_init__(self) -> None:
+        if self.min_workers < 1:
+            raise ConfigurationError("min_workers must be >= 1")
+        if self.max_workers < self.min_workers:
+            raise ConfigurationError("max_workers must be >= min_workers")
+        if self.low_watermark < 0 or self.high_watermark <= self.low_watermark:
+            raise ConfigurationError(
+                "watermarks must satisfy 0 <= low < high"
+            )
+        if self.cooldown_ticks < 0:
+            raise ConfigurationError("cooldown_ticks must be >= 0")
+
+
+@dataclass(frozen=True)
+class AutoscaleDecision:
+    """One observation's outcome (kept for the scaling trace)."""
+
+    tick: int
+    queue_depth: int
+    workers: int  # target after this observation
+    action: str  # "up" | "down" | "hold"
+
+
+@dataclass
+class AutoscalerModel:
+    """Deterministic worker-target controller.
+
+    Feed it queue-depth observations (one per tick); read
+    :attr:`workers` as the current target. The decision trace in
+    :attr:`decisions` records every scale event for reports and tests.
+    """
+
+    policy: AutoscalePolicy = field(default_factory=AutoscalePolicy)
+    workers: int = 0  # 0 -> start at policy.min_workers
+    decisions: list[AutoscaleDecision] = field(default_factory=list)
+    _cooldown: int = 0
+    _tick: int = 0
+
+    def __post_init__(self) -> None:
+        if self.workers == 0:
+            self.workers = self.policy.min_workers
+        if not (
+            self.policy.min_workers <= self.workers <= self.policy.max_workers
+        ):
+            raise ConfigurationError("workers outside the policy bounds")
+
+    def observe(self, queue_depth: int) -> int:
+        """Ingest one depth sample; returns the (new) worker target."""
+        action = "hold"
+        if self._cooldown > 0:
+            self._cooldown -= 1
+        else:
+            per_worker = queue_depth / self.workers
+            if (
+                per_worker > self.policy.high_watermark
+                and self.workers < self.policy.max_workers
+            ):
+                self.workers += 1
+                action = "up"
+                self._cooldown = self.policy.cooldown_ticks
+            elif (
+                per_worker < self.policy.low_watermark
+                and self.workers > self.policy.min_workers
+            ):
+                self.workers -= 1
+                action = "down"
+                self._cooldown = self.policy.cooldown_ticks
+        if action != "hold" or not self.decisions:
+            self.decisions.append(
+                AutoscaleDecision(
+                    tick=self._tick,
+                    queue_depth=queue_depth,
+                    workers=self.workers,
+                    action=action,
+                )
+            )
+        self._tick += 1
+        return self.workers
+
+    @property
+    def peak_workers(self) -> int:
+        """Largest target ever reached (min_workers before any scale)."""
+        if not self.decisions:
+            return self.workers
+        return max(d.workers for d in self.decisions)
+
+    @property
+    def scale_events(self) -> int:
+        """How many up/down steps the model has taken."""
+        return sum(1 for d in self.decisions if d.action != "hold")

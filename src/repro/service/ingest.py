@@ -1,0 +1,388 @@
+"""The asyncio ingestion service in front of the decode farm.
+
+``IngestionService`` is the production-shaped surface the ROADMAP asks
+for: segments arrive as a stream (here: the fleet load generator; in a
+deployment: gateway backhauls), pass deterministic admission control
+(:mod:`.admission`), land in per-tenant/band priority queues
+(:mod:`.queues`), and are drained by a pool of asyncio workers that
+feed the :class:`~repro.cloud.parallel.ParallelCloudService` decode
+farm one segment at a time (``submit_future``), so each segment's
+ingest-to-decode latency is observable. A queue-depth-driven
+:class:`~repro.service.autoscale.AutoscalerModel` grows and shrinks the
+worker-task pool between bounds.
+
+Two planes, two clocks — the determinism contract:
+
+* The **control plane** (admission, quotas, priority order) runs on the
+  *modeled* arrival-time axis. Its decisions are a pure function of the
+  generated workload, so two same-seed runs produce identical
+  accepted/rejected/quarantined/decoded ledgers no matter what the
+  hardware does.
+* The **execution plane** (worker tasks, the decode pool, latency
+  measurement) runs on the host clock and is where throughput and tail
+  latency come from. Decode results are absorbed into stats/telemetry
+  in segment-sequence order after the drain, exactly like the farm's
+  own ``drain()``, so aggregates are reproducible too.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+from concurrent.futures import Future
+
+from ..errors import ConfigurationError
+from ..telemetry import NULL, Telemetry
+from ..types import DecodeResult, Segment
+from .admission import AdmissionController
+from .autoscale import AutoscalerModel
+from .queues import QueuedSegment, ShardedQueues
+
+__all__ = [
+    "DecodeFarm",
+    "ServiceLedger",
+    "CompletedSegment",
+    "QuarantinedEntry",
+    "ServiceReport",
+    "IngestionService",
+]
+
+
+class DecodeFarm(Protocol):
+    """What the service needs from a decode backend.
+
+    :class:`~repro.cloud.parallel.ParallelCloudService` satisfies this;
+    tests substitute lightweight fakes.
+    """
+
+    def submit_future(self, payload: Segment) -> Future: ...
+
+    def absorb_result(self, result: Any) -> list[DecodeResult]: ...
+
+
+@dataclass
+class ServiceLedger:
+    """Deterministic outcome counts — the reproducibility contract.
+
+    Two same-seed runs must produce equal ledgers (compare with ``==``
+    or :meth:`as_dict`); wall-clock quantities live in
+    :class:`ServiceReport`, never here.
+    """
+
+    offered: int = 0
+    accepted: int = 0
+    rejected: dict[str, int] = field(default_factory=dict)
+    by_tenant: dict[str, dict[str, int]] = field(default_factory=dict)
+    quarantined: int = 0
+    decoded_segments: int = 0
+    decoded_frames: int = 0
+    ok_frames: int = 0
+
+    def record_rejection(self, tenant: str, reason: str) -> None:
+        """Count one shed arrival under its reason and tenant."""
+        self.rejected[reason] = self.rejected.get(reason, 0) + 1
+        per = self.by_tenant.setdefault(tenant, {})
+        key = f"rejected.{reason}"
+        per[key] = per.get(key, 0) + 1
+
+    def record_accept(self, tenant: str) -> None:
+        """Count one admitted arrival."""
+        self.accepted += 1
+        per = self.by_tenant.setdefault(tenant, {})
+        per["accepted"] = per.get("accepted", 0) + 1
+
+    def as_dict(self) -> dict[str, Any]:
+        """Sorted plain-dict view (stable for JSON and assertions)."""
+        return {
+            "offered": self.offered,
+            "accepted": self.accepted,
+            "rejected": dict(sorted(self.rejected.items())),
+            "by_tenant": {
+                t: dict(sorted(v.items()))
+                for t, v in sorted(self.by_tenant.items())
+            },
+            "quarantined": self.quarantined,
+            "decoded_segments": self.decoded_segments,
+            "decoded_frames": self.decoded_frames,
+            "ok_frames": self.ok_frames,
+        }
+
+
+@dataclass(frozen=True)
+class CompletedSegment:
+    """One segment's trip through the service (execution-plane view)."""
+
+    seq: int
+    tenant: str
+    band: str
+    technology: str
+    score: float
+    frames: int
+    ok_frames: int
+    latency_s: float
+
+
+@dataclass(frozen=True)
+class QuarantinedEntry:
+    """One segment the service gave up on after retries."""
+
+    seq: int
+    tenant: str
+    reason: str
+    attempts: int
+
+
+@dataclass
+class ServiceReport:
+    """Everything one :meth:`IngestionService.run` produced."""
+
+    ledger: ServiceLedger
+    completed: list[CompletedSegment]
+    quarantined: list[QuarantinedEntry]
+    elapsed_s: float
+    peak_workers: int
+    scale_events: int
+
+    @property
+    def latencies_s(self) -> list[float]:
+        """Ingest-to-decode latency of every completed segment."""
+        return [c.latency_s for c in self.completed]
+
+    def latency_percentile(self, pct: float) -> float:
+        """Nearest-rank percentile of the completion latencies (0 when
+        nothing completed)."""
+        lat = sorted(self.latencies_s)
+        if not lat:
+            return 0.0
+        rank = min(len(lat) - 1, max(0, int(round(pct / 100 * len(lat))) - 1))
+        return lat[rank]
+
+    @property
+    def sustained_rate_hz(self) -> float:
+        """Decoded segments per wall-clock second over the whole run."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.ledger.decoded_segments / self.elapsed_s
+
+
+class IngestionService:
+    """Multi-tenant asyncio ingestion tier over a decode farm.
+
+    Args:
+        farm: Decode backend (``submit_future``/``absorb_result``).
+        admission: Deterministic admission gate; ``None`` admits
+            everything (the bench's admission-off arm).
+        autoscaler: Worker-pool control law (defaults to a fresh model
+            with its default policy). Pin ``min_workers ==
+            max_workers`` for a fixed-size pool.
+        telemetry: Metrics sink (``service.*`` namespace).
+        max_retries: Decode-exception retries before quarantine.
+        tick_s: Autoscaler sampling period and idle-worker poll
+            timeout, in wall seconds.
+        pace: Replay speed for the modeled arrival axis — ``None``
+            (default) offers the whole stream as fast as possible
+            (saturation test); ``x`` replays modeled time at ``x``
+            times real time.
+    """
+
+    def __init__(
+        self,
+        farm: DecodeFarm,
+        admission: AdmissionController | None = None,
+        autoscaler: AutoscalerModel | None = None,
+        telemetry: Telemetry = NULL,
+        max_retries: int = 1,
+        tick_s: float = 0.01,
+        pace: float | None = None,
+    ) -> None:
+        if max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if tick_s <= 0:
+            raise ConfigurationError("tick_s must be positive")
+        if pace is not None and pace <= 0:
+            raise ConfigurationError("pace must be positive (or None)")
+        self.farm = farm
+        self.admission = admission
+        self.autoscaler = (
+            autoscaler if autoscaler is not None else AutoscalerModel()
+        )
+        self.telemetry = telemetry
+        self.max_retries = int(max_retries)
+        self.tick_s = float(tick_s)
+        self.pace = pace
+        self.queues = ShardedQueues(telemetry=telemetry)
+
+    # -- public entry points ----------------------------------------------
+
+    def run(self, arrivals: Iterable[QueuedSegment]) -> ServiceReport:
+        """Synchronous wrapper: serve one workload to completion."""
+        return asyncio.run(self.serve(arrivals))
+
+    async def serve(self, arrivals: Iterable[QueuedSegment]) -> ServiceReport:
+        """Ingest, schedule and decode one arrival stream; report."""
+        ledger = ServiceLedger()
+        raw_results: dict[int, Any] = {}
+        meta: dict[int, QueuedSegment] = {}
+        latencies: dict[int, float] = {}
+        enqueued_wall: dict[int, float] = {}
+        quarantined: list[QuarantinedEntry] = []
+        self._inflight = 0
+        self._producer_done = False
+        self._wake = asyncio.Event()
+        self._target = self.autoscaler.workers
+
+        t0 = time.perf_counter()
+        workers: dict[int, asyncio.Task] = {}
+        loop = asyncio.get_running_loop()
+
+        async def producer() -> None:
+            for n, arrival in enumerate(arrivals):
+                ledger.offered += 1
+                self.telemetry.count("service.offered")
+                if self.pace is not None:
+                    due = t0 + arrival.arrival_s / self.pace
+                    delay = due - time.perf_counter()
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                if self.admission is not None:
+                    decision = self.admission.admit(
+                        arrival.tenant, arrival.arrival_s, arrival.score
+                    )
+                    if not decision.accepted:
+                        ledger.record_rejection(
+                            arrival.tenant, decision.reason
+                        )
+                        continue
+                ledger.record_accept(arrival.tenant)
+                meta[arrival.seq] = arrival
+                enqueued_wall[arrival.seq] = time.perf_counter()
+                self.queues.push(arrival)
+                self._wake.set()
+                if n % 128 == 127:
+                    await asyncio.sleep(0)  # let workers breathe
+            self._producer_done = True
+            self._wake.set()
+
+        async def worker(wid: int) -> None:
+            while True:
+                if wid >= self._target:
+                    return  # retired by the autoscaler
+                item = self.queues.pop()
+                if item is None:
+                    if self._producer_done and self._inflight == 0:
+                        return
+                    self._wake.clear()
+                    try:
+                        await asyncio.wait_for(
+                            self._wake.wait(), timeout=self.tick_s
+                        )
+                    except TimeoutError:
+                        pass
+                    continue
+                self._inflight += 1
+                try:
+                    await decode_one(item)
+                finally:
+                    self._inflight -= 1
+                    self._wake.set()
+
+        async def decode_one(item: QueuedSegment) -> None:
+            attempts = 0
+            while True:
+                try:
+                    with self.telemetry.span("service.decode_wait"):
+                        raw = await asyncio.wrap_future(
+                            self.farm.submit_future(item.segment)
+                        )
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:
+                    attempts += 1
+                    if attempts <= self.max_retries:
+                        self.telemetry.count("service.retried")
+                        continue
+                    quarantined.append(
+                        QuarantinedEntry(
+                            seq=item.seq,
+                            tenant=item.tenant,
+                            reason=f"decode failure: {exc!r}",
+                            attempts=attempts,
+                        )
+                    )
+                    ledger.quarantined += 1
+                    self.telemetry.count("service.quarantined")
+                    return
+                raw_results[item.seq] = raw
+                latencies[item.seq] = (
+                    time.perf_counter() - enqueued_wall[item.seq]
+                )
+                self.telemetry.count("service.decoded_segments")
+                return
+
+        async def autoscale_loop() -> None:
+            while True:
+                self._target = self.autoscaler.observe(len(self.queues))
+                self.telemetry.gauge("service.workers", self._target)
+                reconcile()
+                await asyncio.sleep(self.tick_s)
+
+        def reconcile() -> None:
+            for wid in range(self._target):
+                task = workers.get(wid)
+                if task is None or task.done():
+                    workers[wid] = loop.create_task(worker(wid))
+            self._wake.set()
+
+        reconcile()
+        scaler = loop.create_task(autoscale_loop())
+        try:
+            await producer()
+            # Drain: keep (re)spawning up to the current target until
+            # the queues are empty and nothing is in flight.
+            while len(self.queues) or self._inflight:
+                reconcile()
+                await asyncio.sleep(self.tick_s / 2)
+        finally:
+            scaler.cancel()
+            self._producer_done = True
+            self._wake.set()
+            await asyncio.gather(*workers.values(), return_exceptions=True)
+            try:
+                await scaler
+            except asyncio.CancelledError:
+                pass
+        elapsed = time.perf_counter() - t0
+
+        # Deterministic rollup: absorb in sequence order, like drain().
+        completed: list[CompletedSegment] = []
+        for seq in sorted(raw_results):
+            results = self.farm.absorb_result(raw_results[seq])
+            item = meta[seq]
+            ledger.decoded_segments += 1
+            ledger.decoded_frames += len(results)
+            ledger.ok_frames += sum(1 for r in results if r.ok)
+            completed.append(
+                CompletedSegment(
+                    seq=seq,
+                    tenant=item.tenant,
+                    band=item.band,
+                    technology=item.technology,
+                    score=item.score,
+                    frames=len(results),
+                    ok_frames=sum(1 for r in results if r.ok),
+                    latency_s=latencies[seq],
+                )
+            )
+        self.telemetry.count("service.decoded_frames", ledger.decoded_frames)
+        return ServiceReport(
+            ledger=ledger,
+            completed=completed,
+            quarantined=sorted(quarantined, key=lambda q: q.seq),
+            elapsed_s=elapsed,
+            peak_workers=self.autoscaler.peak_workers,
+            scale_events=self.autoscaler.scale_events,
+        )

@@ -1,0 +1,145 @@
+"""Per-tenant/band segment queues with score-priority scheduling.
+
+Queue topology: one FIFO shard per ``(tenant, band)`` pair, under a
+single scheduler. Within a shard, a tenant's segments stay in arrival
+order (a tenant never sees its own traffic reordered); across shards,
+the scheduler always serves the shard whose *head* segment carries the
+highest detection score — the same score the backhaul's drop policy
+(:mod:`repro.gateway.resilience`) already uses as its priority axis, so
+a segment that survived the gateway's eviction pressure is also the
+first one decoded.
+
+Pop order is fully deterministic: ties on score break by ingest
+sequence number (earlier first), so two runs over the same admitted
+stream drain in the same order regardless of decode-plane speed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..telemetry import NULL, Telemetry
+from ..types import Segment
+
+__all__ = ["QueuedSegment", "ShardedQueues"]
+
+
+@dataclass(frozen=True)
+class QueuedSegment:
+    """One admitted segment waiting for (or finishing) decode.
+
+    Attributes:
+        seq: Ingest sequence number (unique, assigned at admission).
+        tenant: Owning tenant.
+        band: Frequency band / shard key component (e.g. ``"eu868"``).
+        technology: Suspected technology (scheduling metadata only).
+        score: Best gateway detection score — the priority axis.
+        arrival_s: Modeled arrival time of the segment.
+        segment: The I/Q payload shipped to the decode plane.
+    """
+
+    seq: int
+    tenant: str
+    band: str
+    technology: str
+    score: float
+    arrival_s: float
+    segment: Segment
+
+
+@dataclass
+class _Shard:
+    """One (tenant, band) FIFO with its heap bookkeeping."""
+
+    key: tuple[str, str]
+    fifo: deque[QueuedSegment] = field(default_factory=deque)
+
+
+class ShardedQueues:
+    """FIFO-within-shard, score-priority-across-shards segment queues.
+
+    A lazy heap indexes the shards by their head segment's
+    ``(-score, seq)``; stale heap entries (the head changed since the
+    entry was pushed) are skipped on pop. All operations are O(log n)
+    in the number of shards.
+
+    Args:
+        telemetry: Metrics sink; per-shard depth gauges land under
+            ``service.queue.<tenant>.<band>.depth`` and the global
+            depth under ``service.queue.depth``.
+    """
+
+    def __init__(self, telemetry: Telemetry = NULL) -> None:
+        self.telemetry = telemetry
+        self._shards: dict[tuple[str, str], _Shard] = {}
+        self._heap: list[tuple[float, int, tuple[str, str]]] = []
+        self._depth = 0
+
+    def __len__(self) -> int:
+        return self._depth
+
+    def depth(self, tenant: str, band: str) -> int:
+        """Current depth of one shard (0 for an unknown shard)."""
+        shard = self._shards.get((tenant, band))
+        return len(shard.fifo) if shard is not None else 0
+
+    def depths(self) -> dict[tuple[str, str], int]:
+        """Snapshot of every shard's depth (includes drained shards)."""
+        return {key: len(s.fifo) for key, s in self._shards.items()}
+
+    def _index(self, shard: _Shard) -> None:
+        head = shard.fifo[0]
+        heapq.heappush(self._heap, (-head.score, head.seq, shard.key))
+
+    def push(self, item: QueuedSegment) -> None:
+        """Enqueue one admitted segment into its (tenant, band) shard."""
+        key = (item.tenant, item.band)
+        shard = self._shards.get(key)
+        if shard is None:
+            shard = self._shards[key] = _Shard(key=key)
+        shard.fifo.append(item)
+        if len(shard.fifo) == 1:
+            self._index(shard)
+        self._depth += 1
+        self.telemetry.gauge("service.queue.depth", self._depth)
+        self.telemetry.gauge(
+            f"service.queue.{item.tenant}.{item.band}.depth",
+            len(shard.fifo),
+        )
+
+    def pop(self) -> QueuedSegment | None:
+        """Dequeue the highest-priority head segment (None when empty).
+
+        Priority: highest head score first, ties by lowest sequence
+        number — deterministic for any push history.
+        """
+        while self._heap:
+            neg_score, seq, key = heapq.heappop(self._heap)
+            shard = self._shards.get(key)
+            if shard is None or not shard.fifo:
+                continue
+            head = shard.fifo[0]
+            if -neg_score != head.score or seq != head.seq:
+                continue  # stale entry; the live one is elsewhere
+            shard.fifo.popleft()
+            if shard.fifo:
+                self._index(shard)
+            self._depth -= 1
+            self.telemetry.gauge("service.queue.depth", self._depth)
+            self.telemetry.gauge(
+                f"service.queue.{key[0]}.{key[1]}.depth", len(shard.fifo)
+            )
+            return head
+        return None
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict view for reports: global + per-shard depths."""
+        return {
+            "depth": self._depth,
+            "shards": {
+                f"{t}/{b}": d for (t, b), d in sorted(self.depths().items())
+            },
+        }

@@ -136,6 +136,68 @@ class TestDispatcher:
         with pytest.raises(ConfigurationError):
             Dispatcher([], _policy())
 
+    def test_sla_miss_rate_zero_before_any_dispatch(self):
+        # No assignments yet must read as "no misses", not divide by
+        # zero or report 100%.
+        edge, cloud = self._nodes()
+        dispatcher = Dispatcher([edge, cloud], _policy())
+        assert dispatcher.sla_miss_rate == 0.0
+
+    def test_unknown_technology_when_default_is_strictest(self):
+        # A named-but-unregistered technology gets default_s even when
+        # that is stricter than every registered deadline; the
+        # "strictest registered" rule applies only to technology=None
+        # (an unclassified collision).
+        policy = SlaPolicy(
+            deadlines_s={"lora": 2.0, "xbee": 0.2}, default_s=0.01
+        )
+        assert policy.deadline("wmbus") == 0.01
+        assert policy.deadline(None) == 0.2
+        # And the dispatcher enforces that strict default: a segment too
+        # long for either node's 10 ms budget is a recorded miss.
+        edge, cloud = self._nodes()
+        dispatcher = Dispatcher([edge, cloud], policy)
+        a = dispatcher.dispatch(
+            _segment(0.1), at_time=0.0, technology_hint="wmbus"
+        )
+        assert not a.meets_sla
+        assert dispatcher.sla_miss_rate == 1.0
+
+    def test_cost_tie_break_stable_against_node_order(self):
+        # Sustained bursty load over equal-cost nodes: the assignment
+        # sequence must be a pure function of the node *list order*
+        # (first listed wins ties), so two dispatchers built from the
+        # same list agree dispatch-for-dispatch, and reversing the list
+        # only swaps the roles, never destabilizes the schedule.
+        def run(names: list[str]) -> list[str]:
+            nodes = [
+                ComputeNode(n, speed=2.0, rtt_s=0.001, cost=1.0)
+                for n in names
+            ]
+            dispatcher = Dispatcher(
+                nodes, SlaPolicy(deadlines_s={}, default_s=0.5)
+            )
+            out = []
+            # Three bursts of six segments with idle gaps between them.
+            for burst in range(3):
+                t0 = burst * 10.0
+                for i in range(6):
+                    out.append(
+                        dispatcher.dispatch(
+                            _segment(0.4), at_time=t0 + 0.01 * i
+                        ).node
+                    )
+            return out
+
+        first = run(["a", "b"])
+        again = run(["a", "b"])
+        assert first == again  # deterministic under identical load
+        # Every burst starts at the first-listed node on a cost tie.
+        assert first[0] == "a" and first[6] == "a" and first[12] == "a"
+        swapped = run(["b", "a"])
+        rename = {"a": "b", "b": "a"}
+        assert swapped == [rename[n] for n in first]
+
     def test_assignment_record(self):
         edge, cloud = self._nodes()
         dispatcher = Dispatcher([edge, cloud], _policy())

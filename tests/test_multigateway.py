@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.dsp.correlation import cross_correlate
 from repro.errors import ConfigurationError
 from repro.net.multigateway import (
     combine_segments,
@@ -61,6 +62,33 @@ class TestCombining:
     def test_empty_rejected(self, xbee):
         with pytest.raises(ConfigurationError):
             combine_segments([], xbee.sync_waveform())
+
+    def test_invalid_search_rejected(self, xbee, rng):
+        copies = receive_at_gateways(xbee, b"x", [10.0], rng)
+        with pytest.raises(ConfigurationError):
+            combine_segments(copies, xbee.sync_waveform(), search=0)
+
+    def test_search_window_bounds_alignment(self, xbee, rng):
+        # Regression: the alignment peak used to be the *global* argmax
+        # of each copy's correlation, silently ignoring ``search``. A
+        # strong burst far from the true position (here: a loud echo of
+        # the sync waveform injected into one copy's leading noise,
+        # ~1900 samples before the frame) hijacked that copy's
+        # alignment, corrupting the MRC sum.
+        payload = b"window-check"
+        fs = xbee.sample_rate
+        copies = receive_at_gateways(xbee, payload, [6.0, 6.0, 6.0], rng)
+        sync = xbee.sync_waveform()
+        decoy = copies[1]
+        true_peak = int(
+            np.argmax(np.abs(cross_correlate(decoy.samples, sync)))
+        )
+        bogus = true_peak - len(sync) - 40  # ends before the frame
+        assert bogus > 0 and true_peak - bogus > 64
+        decoy.samples[bogus : bogus + len(sync)] += 50.0 * sync
+        combined = combine_segments(copies, sync, search=64)
+        frame = try_decode(xbee, combined, fs)
+        assert frame is not None and frame.payload == payload
 
 
 class TestSelectionBaseline:

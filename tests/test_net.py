@@ -154,6 +154,34 @@ class TestTrafficGenerators:
         with pytest.raises(ConfigurationError):
             collision_scene(trio[:2], [10.0], FS, rng)
 
+    def test_single_modem_rejected(self, trio, rng):
+        # Regression: the docstring always promised "2 or more", but
+        # the code only rejected the empty list.
+        with pytest.raises(ConfigurationError):
+            collision_scene(trio[:1], [10.0], FS, rng)
+
+    def test_partial_overlap_slides_by_preceding_airtime(self, trio, rng):
+        # Pinned semantics: packet i+1 starts (1 - overlap) of packet
+        # i's *own* airtime after packet i, so every consecutive pair
+        # of heterogeneous technologies overlaps by the same fraction
+        # of the earlier frame (the docstring used to claim the slide
+        # was a fraction of the *first* airtime).
+        overlap = 0.5
+        payload_len = 16
+        capture, truth = collision_scene(
+            trio, [10, 10, 10], FS, rng,
+            payload_len=payload_len, overlap=overlap,
+        )
+        airtimes = [m.frame_airtime(payload_len) for m in trio]
+        starts = sorted(p.start for p in truth.packets)
+        for i in range(2):
+            expected_gap = airtimes[i] * (1.0 - overlap)
+            gap_s = (starts[i + 1] - starts[i]) / FS
+            assert gap_s == pytest.approx(expected_gap, abs=2 / FS)
+        # The three technologies have distinct airtimes, so the slide
+        # visibly differs from a first-airtime rule for packet 2.
+        assert airtimes[0] != pytest.approx(airtimes[1])
+
 
 class TestMac:
     def test_delivery_flow(self, rng):

@@ -1,0 +1,494 @@
+"""Tests for the multi-tenant ingestion service (repro.service)."""
+
+import numpy as np
+import pytest
+from concurrent.futures import Future
+
+from repro.cloud.parallel import ParallelCloudService
+from repro.cloud.pipeline import CloudService
+from repro.errors import ConfigurationError
+from repro.net.traffic import DutyCycleProfile
+from repro.service import (
+    AdmissionController,
+    AdmissionPolicy,
+    AutoscalePolicy,
+    AutoscalerModel,
+    IngestionService,
+    QueuedSegment,
+    ShardedQueues,
+    TenantQuota,
+    TenantWorkload,
+    generate_workload,
+    offered_rate_hz,
+)
+from repro.telemetry import Telemetry
+from repro.types import DecodeResult, Segment
+
+FS = 250e3
+
+
+def make_item(seq, tenant="acme", band="eu868", score=1.0, arrival_s=0.0):
+    samples = np.zeros(16, dtype=np.complex64)
+    return QueuedSegment(
+        seq=seq,
+        tenant=tenant,
+        band=band,
+        technology="lora",
+        score=score,
+        arrival_s=arrival_s,
+        segment=Segment(start=seq, samples=samples, sample_rate=FS),
+    )
+
+
+class FakeFarm:
+    """Instant decode backend; optionally fails chosen sequence numbers."""
+
+    def __init__(self, fail_seqs=(), fail_times=1, frames_ok=1):
+        self.fail_seqs = set(fail_seqs)
+        self.fail_times = fail_times
+        self.frames_ok = frames_ok
+        self.failures: dict[int, int] = {}
+        self.submitted: list[int] = []
+        self.absorbed: list[int] = []
+
+    def submit_future(self, payload):
+        seq = payload.start
+        self.submitted.append(seq)
+        future = Future()
+        if seq in self.fail_seqs:
+            tries = self.failures.get(seq, 0)
+            if tries < self.fail_times:
+                self.failures[seq] = tries + 1
+                future.set_exception(RuntimeError(f"decode blew up on {seq}"))
+                return future
+        future.set_result(seq)
+        return future
+
+    def absorb_result(self, result):
+        self.absorbed.append(result)
+        return [
+            DecodeResult(technology="lora", payload=b"ok", ok=True)
+            for _ in range(self.frames_ok)
+        ]
+
+
+class TestTenantQuota:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TenantQuota(rate_hz=0.0)
+        with pytest.raises(ConfigurationError):
+            TenantQuota(rate_hz=1.0, burst=0)
+
+
+class TestAdmissionController:
+    def test_score_floor_rejects_noise(self):
+        ctrl = AdmissionController(
+            AdmissionPolicy(
+                quotas={"acme": TenantQuota(rate_hz=100.0)}, min_score=1.5
+            )
+        )
+        assert ctrl.admit("acme", 0.0, 1.0).reason == "score"
+        assert ctrl.admit("acme", 0.1, 2.0).accepted
+
+    def test_unknown_tenant_without_default_rejected(self):
+        ctrl = AdmissionController(
+            AdmissionPolicy(quotas={"acme": TenantQuota(rate_hz=100.0)})
+        )
+        decision = ctrl.admit("stranger", 0.0, 5.0)
+        assert not decision.accepted
+        assert decision.reason == "unknown-tenant"
+
+    def test_default_quota_covers_unknown_tenants(self):
+        ctrl = AdmissionController(
+            AdmissionPolicy(default_quota=TenantQuota(rate_hz=100.0, burst=2))
+        )
+        assert ctrl.admit("stranger", 0.0, 5.0).accepted
+        assert ctrl.admit("stranger", 0.0, 5.0).accepted
+        # Burst of 2 exhausted at the same instant -> quota reject.
+        assert ctrl.admit("stranger", 0.0, 5.0).reason == "quota"
+
+    def test_token_bucket_refills_on_modeled_time(self):
+        ctrl = AdmissionController(
+            AdmissionPolicy(
+                quotas={"acme": TenantQuota(rate_hz=10.0, burst=1)}
+            )
+        )
+        assert ctrl.admit("acme", 0.0, 5.0).accepted
+        assert ctrl.admit("acme", 0.01, 5.0).reason == "quota"
+        # 0.1 s at 10 Hz refills exactly one token.
+        assert ctrl.admit("acme", 0.11, 5.0).accepted
+
+    def test_backlog_bound_sheds_then_drains(self):
+        ctrl = AdmissionController(
+            AdmissionPolicy(
+                quotas={"acme": TenantQuota(rate_hz=1e6, burst=1000)},
+                drain_rate_hz=10.0,
+                max_backlog=3,
+            )
+        )
+        for _ in range(3):
+            assert ctrl.admit("acme", 0.0, 5.0).accepted
+        assert ctrl.admit("acme", 0.0, 5.0).reason == "backlog"
+        # One modeled second at 10 Hz drains the whole backlog.
+        assert ctrl.drained_backlog(1.0) == 0.0
+        assert ctrl.admit("acme", 1.0, 5.0).accepted
+
+    def test_non_monotonic_arrival_raises(self):
+        ctrl = AdmissionController(
+            AdmissionPolicy(quotas={"acme": TenantQuota(rate_hz=100.0)})
+        )
+        ctrl.admit("acme", 1.0, 5.0)
+        with pytest.raises(ConfigurationError):
+            ctrl.admit("acme", 0.5, 5.0)
+
+    def test_per_tenant_telemetry_rollup(self):
+        telemetry = Telemetry()
+        ctrl = AdmissionController(
+            AdmissionPolicy(quotas={"acme": TenantQuota(rate_hz=100.0)}),
+            telemetry=telemetry,
+        )
+        ctrl.admit("acme", 0.0, 5.0)
+        ctrl.admit("ghost", 0.0, 5.0)
+        counters = telemetry.snapshot()["counters"]
+        assert counters["service.admission.accepted"] == 1
+        assert counters["service.tenant.acme.accepted"] == 1
+        assert counters["service.tenant.ghost.rejected.unknown-tenant"] == 1
+
+
+class TestShardedQueues:
+    def test_fifo_within_shard(self):
+        q = ShardedQueues()
+        q.push(make_item(0, score=1.0))
+        q.push(make_item(1, score=9.0))  # higher score, same shard: waits
+        assert q.pop().seq == 0
+        assert q.pop().seq == 1
+        assert q.pop() is None
+
+    def test_priority_across_shards(self):
+        q = ShardedQueues()
+        q.push(make_item(0, tenant="acme", score=1.0))
+        q.push(make_item(1, tenant="hydro", score=5.0))
+        q.push(make_item(2, tenant="acme", score=9.0))
+        # hydro's head (5.0) beats acme's head (1.0) even though acme
+        # holds the single best segment behind its FIFO head.
+        assert q.pop().tenant == "hydro"
+        assert q.pop().seq == 0
+        assert q.pop().seq == 2
+
+    def test_score_tie_breaks_by_sequence(self):
+        q = ShardedQueues()
+        q.push(make_item(5, tenant="b", score=2.0))
+        q.push(make_item(3, tenant="a", score=2.0))
+        assert q.pop().seq == 3
+        assert q.pop().seq == 5
+
+    def test_stale_heap_entries_skipped(self):
+        q = ShardedQueues()
+        q.push(make_item(0, tenant="a", score=4.0))
+        q.push(make_item(1, tenant="b", score=3.0))
+        q.push(make_item(2, tenant="a", score=8.0))
+        assert q.pop().seq == 0  # a's head; heap re-indexes a at seq 2
+        assert q.pop().seq == 2  # stale (a, seq 0) entry must be skipped
+        assert q.pop().seq == 1
+        assert len(q) == 0
+
+    def test_depth_tracking(self):
+        q = ShardedQueues()
+        q.push(make_item(0, tenant="a", band="eu868"))
+        q.push(make_item(1, tenant="a", band="us915"))
+        assert len(q) == 2
+        assert q.depth("a", "eu868") == 1
+        assert q.depth("nobody", "eu868") == 0
+        snap = q.snapshot()
+        assert snap["depth"] == 2
+        assert snap["shards"] == {"a/eu868": 1, "a/us915": 1}
+
+
+class TestAutoscalerModel:
+    def test_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            AutoscalePolicy(min_workers=0)
+        with pytest.raises(ConfigurationError):
+            AutoscalePolicy(min_workers=3, max_workers=2)
+        with pytest.raises(ConfigurationError):
+            AutoscalePolicy(high_watermark=1.0, low_watermark=2.0)
+
+    def test_starts_at_min_workers(self):
+        model = AutoscalerModel(policy=AutoscalePolicy(min_workers=2))
+        assert model.workers == 2
+
+    def test_scales_up_under_backlog_with_cooldown(self):
+        model = AutoscalerModel(
+            policy=AutoscalePolicy(
+                min_workers=1,
+                max_workers=4,
+                high_watermark=4.0,
+                cooldown_ticks=2,
+            )
+        )
+        assert model.observe(40) == 2  # above watermark: step up
+        assert model.observe(40) == 2  # cooldown holds
+        assert model.observe(40) == 2  # cooldown holds
+        assert model.observe(40) == 3  # cooldown expired: step again
+        assert model.peak_workers == 3
+        assert model.scale_events == 2
+
+    def test_scales_down_when_idle_and_respects_min(self):
+        model = AutoscalerModel(
+            policy=AutoscalePolicy(
+                min_workers=1,
+                max_workers=4,
+                low_watermark=2.0,
+                cooldown_ticks=0,
+            ),
+            workers=2,
+        )
+        assert model.observe(0) == 1
+        assert model.observe(0) == 1  # pinned at min_workers
+
+    def test_never_exceeds_max(self):
+        model = AutoscalerModel(
+            policy=AutoscalePolicy(
+                min_workers=1, max_workers=2, cooldown_ticks=0
+            )
+        )
+        for _ in range(10):
+            model.observe(1000)
+        assert model.workers == 2
+
+
+class TestLoadGenerator:
+    WORKLOADS = [
+        TenantWorkload(
+            "acme", "eu868", DutyCycleProfile("lora", 600_000, 0.01, 12)
+        ),
+        TenantWorkload(
+            "hydro", "us915", DutyCycleProfile("xbee", 400_000, 0.001, 16)
+        ),
+    ]
+
+    def test_empty_workloads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_workload([], FS, 1.0, np.random.default_rng(0))
+
+    def test_same_seed_same_stream(self):
+        a = generate_workload(
+            self.WORKLOADS, FS, 5.0, np.random.default_rng(42),
+            max_requests=80,
+        )
+        b = generate_workload(
+            self.WORKLOADS, FS, 5.0, np.random.default_rng(42),
+            max_requests=80,
+        )
+        assert [(x.seq, x.tenant, x.arrival_s, x.score) for x in a] == [
+            (x.seq, x.tenant, x.arrival_s, x.score) for x in b
+        ]
+        for x, y in zip(a, b, strict=True):
+            assert np.array_equal(x.segment.samples, y.segment.samples)
+
+    def test_arrivals_sorted_and_sequenced(self):
+        arrivals = generate_workload(
+            self.WORKLOADS, FS, 5.0, np.random.default_rng(1),
+            max_requests=60,
+        )
+        times = [a.arrival_s for a in arrivals]
+        assert times == sorted(times)
+        assert [a.seq for a in arrivals] == list(range(len(arrivals)))
+        assert {a.tenant for a in arrivals} == {"acme", "hydro"}
+
+    def test_aggregate_rate_scales_with_population(self):
+        from repro.phy import create_modem
+
+        modems = {"lora": create_modem("lora"), "xbee": create_modem("xbee")}
+        small = [
+            TenantWorkload(
+                "acme", "eu868", DutyCycleProfile("lora", 1_000, 0.01, 12)
+            )
+        ]
+        big = [
+            TenantWorkload(
+                "acme", "eu868", DutyCycleProfile("lora", 1_000_000, 0.01, 12)
+            )
+        ]
+        ratio = offered_rate_hz(big, modems) / offered_rate_hz(small, modems)
+        assert ratio == pytest.approx(1000.0)
+
+
+class TestIngestionService:
+    def arrivals(self, n=30, seed=9):
+        rng = np.random.default_rng(seed)
+        times = np.sort(rng.uniform(0.0, 1.0, n))
+        return [
+            make_item(
+                i,
+                tenant="acme" if i % 2 else "hydro",
+                band="eu868",
+                score=float(1.0 + rng.gamma(2.0, 1.0)),
+                arrival_s=float(times[i]),
+            )
+            for i in range(n)
+        ]
+
+    def controller(self, **overrides):
+        policy = AdmissionPolicy(
+            quotas={
+                "acme": TenantQuota(rate_hz=3.0, burst=2),
+                "hydro": TenantQuota(rate_hz=3.0, burst=2),
+            },
+            drain_rate_hz=1000.0,
+            max_backlog=1000,
+            **overrides,
+        )
+        return AdmissionController(policy)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            IngestionService(FakeFarm(), max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            IngestionService(FakeFarm(), tick_s=0.0)
+        with pytest.raises(ConfigurationError):
+            IngestionService(FakeFarm(), pace=0.0)
+
+    def test_admission_off_decodes_everything(self):
+        farm = FakeFarm()
+        service = IngestionService(farm, tick_s=0.002)
+        report = service.run(self.arrivals())
+        assert report.ledger.accepted == 30
+        assert report.ledger.decoded_segments == 30
+        assert report.ledger.rejected == {}
+        assert len(report.completed) == 30
+        assert all(c.latency_s >= 0.0 for c in report.completed)
+        # Absorb happens in sequence order for deterministic rollups.
+        assert farm.absorbed == sorted(farm.absorbed)
+
+    def test_quota_shedding_lands_in_ledger(self):
+        farm = FakeFarm()
+        service = IngestionService(
+            farm, admission=self.controller(), tick_s=0.002
+        )
+        report = service.run(self.arrivals())
+        ledger = report.ledger.as_dict()
+        assert ledger["offered"] == 30
+        assert ledger["accepted"] + sum(ledger["rejected"].values()) == 30
+        assert ledger["rejected"].get("quota", 0) > 0
+        assert ledger["decoded_segments"] == ledger["accepted"]
+
+    def test_same_workload_same_ledger(self):
+        reports = [
+            IngestionService(
+                FakeFarm(), admission=self.controller(), tick_s=0.002
+            ).run(self.arrivals())
+            for _ in range(2)
+        ]
+        assert (
+            reports[0].ledger.as_dict() == reports[1].ledger.as_dict()
+        )
+
+    def test_retry_then_quarantine(self):
+        # seq 4 fails once (retry rescues it); seq 7 fails forever.
+        farm = FakeFarm(fail_seqs={4, 7}, fail_times=1)
+        farm.fail_times = 1
+
+        class AlwaysFail(FakeFarm):
+            def submit_future(self, payload):
+                if payload.start == 7:
+                    future = Future()
+                    future.set_exception(RuntimeError("dead segment"))
+                    self.submitted.append(7)
+                    return future
+                return super().submit_future(payload)
+
+        farm = AlwaysFail(fail_seqs={4}, fail_times=1)
+        service = IngestionService(farm, max_retries=1, tick_s=0.002)
+        report = service.run(self.arrivals(n=10))
+        assert report.ledger.decoded_segments == 9
+        assert report.ledger.quarantined == 1
+        assert len(report.quarantined) == 1
+        entry = report.quarantined[0]
+        assert entry.seq == 7
+        assert entry.attempts == 2
+        assert "dead segment" in entry.reason
+
+    def test_autoscaler_grows_pool_under_burst(self):
+        farm = FakeFarm()
+        model = AutoscalerModel(
+            policy=AutoscalePolicy(
+                min_workers=1,
+                max_workers=3,
+                high_watermark=2.0,
+                low_watermark=0.5,
+                cooldown_ticks=0,
+            )
+        )
+
+        class SlowFarm(FakeFarm):
+            def submit_future(self, payload):
+                import time as _time
+
+                _time.sleep(0.003)
+                return super().submit_future(payload)
+
+        farm = SlowFarm()
+        service = IngestionService(
+            farm, autoscaler=model, tick_s=0.002
+        )
+        report = service.run(self.arrivals(n=40))
+        assert report.ledger.decoded_segments == 40
+        assert report.peak_workers > 1
+        assert report.scale_events >= 1
+
+    def test_report_percentiles_and_rate(self):
+        service = IngestionService(FakeFarm(), tick_s=0.002)
+        report = service.run(self.arrivals(n=20))
+        p50 = report.latency_percentile(50)
+        p99 = report.latency_percentile(99)
+        assert 0.0 <= p50 <= p99
+        assert report.sustained_rate_hz > 0.0
+        empty = IngestionService(FakeFarm(), tick_s=0.002).run([])
+        assert empty.latency_percentile(99) == 0.0
+        assert empty.sustained_rate_hz == 0.0
+
+
+class TestServiceOverRealFarm:
+    """submit_future/absorb_result against the actual decode farm."""
+
+    @pytest.fixture()
+    def batch(self, trio):
+        from repro.net.scene import SceneBuilder
+
+        rng = np.random.default_rng(0xBEEF)
+        by = {m.name: m for m in trio}
+        segments = []
+        for name, payload in [("lora", b"uplink"), ("xbee", b"reading")]:
+            builder = SceneBuilder(1e6, 0.06)
+            builder.add_packet(by[name], payload, 4000, 15, rng)
+            capture, _ = builder.render(rng)
+            segments.append(
+                Segment(start=10_000, samples=capture, sample_rate=1e6)
+            )
+        return segments
+
+    def test_matches_serial_decode(self, trio, batch):
+        serial = CloudService(trio, 1e6)
+        ref = [r for s in batch for r in serial.process_segment(s)]
+        arrivals = [
+            QueuedSegment(
+                seq=i,
+                tenant="acme",
+                band="eu868",
+                technology="mixed",
+                score=1.0,
+                arrival_s=float(i) * 0.01,
+                segment=s,
+            )
+            for i, s in enumerate(batch)
+        ]
+        with ParallelCloudService(
+            trio, 1e6, workers=2, executor="thread"
+        ) as farm:
+            service = IngestionService(farm, tick_s=0.002)
+            report = service.run(arrivals)
+        assert report.ledger.decoded_segments == len(batch)
+        assert report.ledger.decoded_frames == len(ref)
+        assert report.ledger.ok_frames == sum(1 for r in ref if r.ok)
+        assert farm.stats == serial.stats
