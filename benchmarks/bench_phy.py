@@ -1,0 +1,256 @@
+#!/usr/bin/env python
+"""Per-modem PHY fast-path benchmark: vectorized kernels vs legacy loops.
+
+For every implemented technology this script times ``demodulate`` (serial
+walk) and ``demodulate_many`` (batch API) on a fixture of clean
+native-rate frames, A/B-ing ``GALIOT_BACKEND=numpy`` (vectorized
+kernels, the default) against ``GALIOT_BACKEND=off`` (the historical
+per-element loops), and asserts the decode results are identical in the
+reference profile. It then measures the end-to-end serial cloud decode
+A/B on the same fixture batch ``bench_cloud_scaling.py`` uses, and
+finally runs the opt-in ``complex64`` fast profile, recording its
+speedup *and* its accuracy cost (per-modem decode agreement plus the
+worst-case derotation kernel error) — the evidence gating that profile.
+
+Like ``bench_cloud_scaling.py`` this is a standalone script emitting a
+machine-readable ``BENCH_phy.json`` so successive PRs accumulate a
+trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_phy.py          # full
+    PYTHONPATH=src python benchmarks/bench_phy.py --smoke  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_cloud_scaling import build_segments, run_serial  # noqa: E402
+
+from repro.dsp.backend import derotate, set_backend  # noqa: E402
+from repro.phy import create_modem  # noqa: E402
+from repro.phy.base import FrameResult, Modem  # noqa: E402
+
+#: The six PHY families (oqpsk154 is the base PHY that thread /
+#: wirelesshart / weightless ride).
+MODEM_NAMES = ["lora", "xbee", "zwave", "ble", "sigfox", "oqpsk154"]
+
+
+def build_buffers(
+    modem: Modem, n_frames: int, payload_len: int, rng: np.random.Generator
+) -> tuple[list[np.ndarray], list[bytes]]:
+    """Clean native-rate frames with leading/trailing noise padding."""
+    payload_len = min(payload_len, modem.max_payload)
+    buffers: list[np.ndarray] = []
+    payloads: list[bytes] = []
+    for i in range(n_frames):
+        payload = bytes((i + j) % 256 for j in range(payload_len))
+        wave = modem.modulate(payload)
+        pad = max(int(2e-3 * modem.sample_rate), 16)
+        buf = np.zeros(pad + len(wave) + pad, dtype=complex)
+        buf[pad : pad + len(wave)] = wave
+        buf += 0.01 * (
+            rng.normal(size=len(buf)) + 1j * rng.normal(size=len(buf))
+        )
+        buffers.append(buf)
+        payloads.append(payload)
+    return buffers, payloads
+
+
+def _key(frame: FrameResult | None) -> tuple | None:
+    """Comparison key: the decode outcome, not float score dust."""
+    if frame is None:
+        return None
+    return (bytes(frame.payload), bool(frame.crc_ok), int(frame.start))
+
+
+def time_modem(
+    modem: Modem, buffers: list[np.ndarray]
+) -> tuple[float, float, list]:
+    """(serial_seconds, batch_seconds, decode_keys) for one profile."""
+    modem.demodulate_many(buffers[:1])  # warm the sync-reference cache
+    t0 = time.perf_counter()
+    serial = modem.demodulate_many(buffers)
+    t_serial = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    batch = modem.demodulate_many(buffers)
+    t_batch = time.perf_counter() - t0
+    keys = [_key(f) for f in serial]
+    assert keys == [_key(f) for f in batch], (
+        f"{modem.name}: batch decode diverged from serial"
+    )
+    return t_serial, t_batch, keys
+
+
+def derotate_fast_error() -> float:
+    """Worst-case |Δ| of the complex64 derotation vs complex128."""
+    rng = np.random.default_rng(7)
+    iq = rng.normal(size=4096) + 1j * rng.normal(size=4096)
+    set_backend("numpy")
+    ref = derotate(iq, 1234.5, 1e6)
+    set_backend("fast")
+    try:
+        fast = derotate(iq, 1234.5, 1e6)
+    finally:
+        set_backend("numpy")
+    return float(np.max(np.abs(ref - fast)))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny fixture: CI plumbing/equivalence check, not a measurement",
+    )
+    parser.add_argument("--frames", type=int, default=None)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_phy.json"))
+    args = parser.parse_args(argv)
+    n_frames = args.frames or (2 if args.smoke else 6)
+    payload_len = 6 if args.smoke else 12
+    n_segments = 2 if args.smoke else 8
+
+    rng = np.random.default_rng(0xBEEF)
+    fixtures = {}
+    for name in MODEM_NAMES:
+        modem = create_modem(name)
+        buffers, payloads = build_buffers(modem, n_frames, payload_len, rng)
+        fixtures[name] = (modem, buffers, payloads)
+
+    modem_rows: dict[str, dict] = {}
+    equivalence_ok = True
+    for name, (modem, buffers, payloads) in fixtures.items():
+        set_backend("numpy")
+        t_on, t_batch_on, keys_on = time_modem(modem, buffers)
+        set_backend("off")
+        try:
+            t_off, t_batch_off, keys_off = time_modem(modem, buffers)
+        finally:
+            set_backend("numpy")
+        decoded = sum(
+            1
+            for key, payload in zip(keys_on, payloads)
+            if key is not None and key[0] == payload and key[1]
+        )
+        identical = keys_on == keys_off
+        equivalence_ok = equivalence_ok and identical
+        set_backend("fast")
+        try:
+            t_fast, _t_batch_fast, keys_fast = time_modem(modem, buffers)
+        finally:
+            set_backend("numpy")
+        agreement = sum(
+            1 for a, b in zip(keys_on, keys_fast) if a == b
+        ) / max(len(keys_on), 1)
+        modem_rows[name] = {
+            "n_frames": n_frames,
+            "payload_len": min(payload_len, modem.max_payload),
+            "decoded_ok": decoded,
+            "serial": {
+                "backend_on_s": t_on,
+                "backend_off_s": t_off,
+                "speedup": t_off / t_on if t_on > 0 else float("nan"),
+            },
+            "batch": {
+                "backend_on_s": t_batch_on,
+                "backend_off_s": t_batch_off,
+                "speedup": (
+                    t_batch_off / t_batch_on
+                    if t_batch_on > 0
+                    else float("nan")
+                ),
+            },
+            "frames_per_sec_on": n_frames / t_on if t_on > 0 else 0.0,
+            "identical_on_off": identical,
+            "fast_profile": {
+                "seconds": t_fast,
+                "speedup_vs_reference": (
+                    t_on / t_fast if t_fast > 0 else float("nan")
+                ),
+                "decode_agreement": agreement,
+            },
+        }
+        print(
+            f"{name:<9s}: on {t_on:6.3f}s  off {t_off:6.3f}s "
+            f"({t_off / t_on:4.2f}x)  fast {t_fast:6.3f}s  "
+            f"decoded {decoded}/{n_frames}  identical={identical} "
+            f"fast-agreement={agreement:.2f}"
+        )
+        if decoded != n_frames:
+            print(
+                f"WARNING: {name} decoded {decoded}/{n_frames} fixture "
+                "frames — the A/B still compares like with like, but "
+                "the fixture should be clean",
+                file=sys.stderr,
+            )
+
+    # End-to-end serial cloud decode A/B on the scaling-bench fixture.
+    e2e_rng = np.random.default_rng(0xC0FFEE)
+    modems, segments = build_segments(n_segments, payload_len, e2e_rng)
+    set_backend("numpy")
+    ref_results, _stats, _warm = run_serial(modems, segments)
+    _r, _s, t_e2e_on = run_serial(modems, segments)
+    set_backend("off")
+    try:
+        off_results, _stats2, t_e2e_off = run_serial(modems, segments)
+    finally:
+        set_backend("numpy")
+    e2e_identical = off_results == ref_results
+    equivalence_ok = equivalence_ok and e2e_identical
+    print(
+        f"end-to-end: on {t_e2e_on:6.3f}s ({n_segments / t_e2e_on:.3f} "
+        f"seg/s)  off {t_e2e_off:6.3f}s "
+        f"({n_segments / t_e2e_off:.3f} seg/s)  "
+        f"speedup {t_e2e_off / t_e2e_on:.2f}x  identical={e2e_identical}"
+    )
+
+    payload = {
+        "bench": "phy",
+        "schema": 1,
+        "smoke": bool(args.smoke),
+        "modems": modem_rows,
+        "end_to_end": {
+            "n_segments": n_segments,
+            "backend_on": {
+                "seconds": t_e2e_on,
+                "segments_per_sec": n_segments / t_e2e_on,
+            },
+            "backend_off": {
+                "seconds": t_e2e_off,
+                "segments_per_sec": n_segments / t_e2e_off,
+            },
+            "speedup": t_e2e_off / t_e2e_on,
+            "identical": e2e_identical,
+        },
+        "fast_profile": {
+            "note": (
+                "complex64 kernels are opt-in (GALIOT_BACKEND=fast); "
+                "decode_agreement per modem and the derotation error "
+                "below are the accuracy evidence gating that profile"
+            ),
+            "derotate_max_abs_err": derotate_fast_error(),
+        },
+        "equivalence_ok": equivalence_ok,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if not equivalence_ok:
+        print(
+            "ERROR: backend-on/off decode results diverged",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,8 +27,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..contracts import iq_contract
+from ..dsp.backend import backend_enabled
 from ..dsp.correlation import find_peaks_above
-from ..dsp.fastcorr import TemplateBank, correlate_many
+from ..dsp.fastcorr import TemplateBank, TrackSpec, correlate_accumulate, correlate_many
 from ..dsp.resample import NativeRateCache, to_rate
 from ..errors import ConfigurationError
 from ..gateway.detection import cfar_threshold
@@ -209,6 +210,57 @@ class SegmentClassifier:
             acc += corr[offset : offset + out_len] ** 2
         return np.sqrt(acc) / entry.tpl_norm
 
+    def _score_tracks(
+        self,
+        sig: np.ndarray,
+        group: tuple[float, int],
+        live: list[int],
+    ) -> dict[int, np.ndarray]:
+        """Score tracks for every live modem of one bank group.
+
+        With the compute backend on, the per-modem sub-block magnitudes
+        are accumulated *inside* the correlation engine's chunk loop
+        (:func:`~repro.dsp.fastcorr.correlate_accumulate`), so the
+        classify pass never materializes the per-template complex
+        tracks it used to reduce immediately. Backend off keeps the
+        historical ``correlate_many`` + :meth:`_track` combination.
+        """
+        bank = self._banks[group]
+        if backend_enabled():
+            specs = {
+                index: TrackSpec(
+                    pairs=tuple(
+                        ((index, offset), offset)
+                        for offset in self._refs[index].offsets
+                    ),
+                    out_len=len(sig) - len(self._refs[index].tpl) + 1,
+                    squared=self._refs[index].block is not None,
+                )
+                for index in live
+            }
+            combined = correlate_accumulate(
+                sig, bank, specs, telemetry=self.telemetry
+            )
+            tracks: dict[int, np.ndarray] = {}
+            for index in live:
+                entry = self._refs[index]
+                acc = combined[index]
+                if entry.block is None:
+                    tracks[index] = acc / entry.tpl_norm
+                else:
+                    tracks[index] = np.sqrt(acc) / entry.tpl_norm
+            return tracks
+        keys = [
+            (index, offset)
+            for index in live
+            for offset in self._refs[index].offsets
+        ]
+        raw = correlate_many(sig, bank, keys, telemetry=self.telemetry)
+        return {
+            index: self._track(self._refs[index], raw, index, len(sig))
+            for index in live
+        }
+
     @iq_contract("samples")
     def classify(
         self, samples: np.ndarray, rates: NativeRateCache | None = None
@@ -240,18 +292,10 @@ class SegmentClassifier:
             ]
             if not live:
                 continue
-            keys = [
-                (index, offset)
-                for index in live
-                for offset in self._refs[index].offsets
-            ]
-            tracks = correlate_many(
-                sig, self._banks[(rate, stride)], keys,
-                telemetry=self.telemetry,
-            )
+            score_tracks = self._score_tracks(sig, (rate, stride), live)
             for index in live:
                 entry = self._refs[index]
-                track = self._track(entry, tracks, index, len(sig))
+                track = score_tracks[index]
                 threshold = cfar_threshold(track, self.k)
                 min_dist = max(len(entry.tpl) // 2, 1)
                 peaks = find_peaks_above(track, threshold, min_dist)

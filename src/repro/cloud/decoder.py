@@ -37,7 +37,7 @@ from ..telemetry import NULL, Telemetry
 from ..types import DecodeResult
 from .classify import ClassifiedSignal, SegmentClassifier
 from .kill_filters import kill_filter_for
-from .sic import reconstruct_and_subtract, try_decode
+from .sic import FrameWaveformMemo, reconstruct_and_subtract, try_decode
 
 __all__ = ["CloudDecodeReport", "CloudDecoder"]
 
@@ -140,11 +140,12 @@ class CloudDecoder:
         candidate: ClassifiedSignal,
         frame,
         method: str,
+        memo: FrameWaveformMemo | None = None,
     ) -> np.ndarray:
         """Store a success and cancel the frame from the working signal."""
         modem = self.modems[candidate.technology]
         residual, recon = reconstruct_and_subtract(
-            working, self.sample_rate_hz, modem, frame
+            working, self.sample_rate_hz, modem, frame, memo=memo
         )
         report.sic_cancellations += 1
         report.results.append(
@@ -211,6 +212,10 @@ class CloudDecoder:
 
     def _decode(self, samples: np.ndarray) -> CloudDecodeReport:
         report = CloudDecodeReport()
+        # One waveform memo per segment: repeated reconstructions of the
+        # same decoded frame (kill-filter retries, deep SIC stacks) skip
+        # the remodulate + resample step.
+        memo = FrameWaveformMemo()
         working = np.asarray(samples, dtype=complex).copy()
         # One native-rate view cache per working buffer: every classify,
         # decode and kill attempt in an iteration shares the same
@@ -236,7 +241,8 @@ class CloudDecoder:
                 for r in report.results
             ):
                 working = self._record(
-                    report, working, strongest, frame, method="sic"
+                    report, working, strongest, frame, method="sic",
+                    memo=memo,
                 )
                 rates = NativeRateCache(working, self.sample_rate_hz)
                 # Algorithm 1 line 6: cancel and *repeat* — the residual
@@ -307,7 +313,8 @@ class CloudDecoder:
                             self.modems[victim.technology]
                         ).name
                         working = self._record(
-                            report, working, strongest, frame, method=kill_name
+                            report, working, strongest, frame,
+                            method=kill_name, memo=memo,
                         )
                         rates = NativeRateCache(working, self.sample_rate_hz)
                         open_candidates, residuals = self._open_candidates(

@@ -29,6 +29,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..contracts import iq_contract
+from ..dsp.backend import backend_enabled, blocked_ls_subtract
 from ..dsp.chirp import base_downchirp, base_upchirp
 from ..dsp.filters import fft_notch
 from ..errors import ConfigurationError
@@ -251,6 +252,10 @@ class KillCodes:
         block = max(int(self.block_s * sample_rate_hz), 64)
         stop = min(start + len(wave), len(out))
         ref = wave[: stop - start]
+        if backend_enabled():
+            fitted, _gain = blocked_ls_subtract(ref, out[start:stop], block)
+            out[start:stop] = fitted
+            return out
         for pos in range(0, len(ref), block):
             r = ref[pos : pos + block]
             x = out[start + pos : start + pos + len(r)]

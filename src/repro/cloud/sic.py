@@ -19,13 +19,25 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..contracts import iq_contract
-from ..dsp.fastcorr import TemplateBank, correlate_many, fastcorr_enabled
+from ..dsp.backend import backend_enabled, blocked_ls_subtract
+from ..dsp.fastcorr import (
+    TemplateBank,
+    TrackSpec,
+    correlate_accumulate,
+    correlate_many,
+    fastcorr_enabled,
+)
 from ..dsp.resample import NativeRateCache, to_rate
 from ..errors import ReproError
 from ..phy.base import FrameResult, Modem
 from ..telemetry import NULL, Telemetry
 
-__all__ = ["ReconstructionReport", "reconstruct_and_subtract", "try_decode"]
+__all__ = [
+    "FrameWaveformMemo",
+    "ReconstructionReport",
+    "reconstruct_and_subtract",
+    "try_decode",
+]
 
 #: Cap on the alignment-search half-width in segment-rate samples. The
 #: half-width scales with ``sample_rate_hz / modem.sample_rate`` (a
@@ -33,6 +45,37 @@ __all__ = ["ReconstructionReport", "reconstruct_and_subtract", "try_decode"]
 #: pathological rate ratio must not turn the local search into a
 #: full-segment scan.
 MAX_ALIGN_HALF_WIDTH = 512
+
+
+class FrameWaveformMemo:
+    """Per-segment cache of remodulated + resampled frame waveforms.
+
+    Algorithm 1 reconstructs the *same* decoded frame more than once per
+    segment: a kill-filter retry that re-decodes the victim, or repeated
+    SIC passes over a multi-collision, each pay ``modulate()`` plus
+    ``to_rate()`` for an identical ``(technology, payload, rate)``
+    triple. The memo returns a read-only waveform so every consumer can
+    share one buffer safely. Scope it to one segment: payload bytes are
+    arbitrary, so an unbounded process-wide cache would grow without
+    limit.
+    """
+
+    def __init__(self) -> None:
+        self._waves: dict[tuple[str, bytes, float], np.ndarray] = {}
+
+    def wave(
+        self, modem: Modem, payload: bytes, sample_rate_hz: float
+    ) -> np.ndarray:
+        """The frame waveform of ``payload`` resampled to ``sample_rate_hz``."""
+        key = (modem.name, bytes(payload), float(sample_rate_hz))
+        wave = self._waves.get(key)
+        if wave is None:
+            wave = to_rate(
+                modem.modulate(payload), modem.sample_rate, sample_rate_hz
+            )
+            wave.flags.writeable = False
+            self._waves[key] = wave
+        return wave
 
 
 @dataclass(frozen=True)
@@ -118,11 +161,22 @@ def _align_start(
             {pos: probe[pos : pos + block] for pos in offsets}
         )
         region = samples[lo : hi + len(probe)]
-        tracks = correlate_many(region, bank)
-        metric = np.zeros(hi - lo + 1)
-        for pos in offsets:
-            track = tracks[pos]
-            metric += np.abs(track[pos : pos + len(metric)])
+        out_len = hi - lo + 1
+        if backend_enabled():
+            # Fused: block magnitudes accumulate inside the engine's
+            # chunk loop instead of materializing per-block tracks.
+            spec = TrackSpec(
+                pairs=tuple((pos, pos) for pos in offsets),
+                out_len=out_len,
+                squared=False,
+            )
+            metric = correlate_accumulate(region, bank, {0: spec})[0]
+        else:
+            tracks = correlate_many(region, bank)
+            metric = np.zeros(out_len)
+            for pos in offsets:
+                track = tracks[pos]
+                metric += np.abs(track[pos : pos + out_len])
         return lo + int(np.argmax(metric))
     best_metric = -1.0
     best_start = start
@@ -146,6 +200,7 @@ def reconstruct_and_subtract(
     modem: Modem,
     frame: FrameResult,
     block_s: float = 0.25e-3,
+    memo: FrameWaveformMemo | None = None,
 ) -> tuple[np.ndarray, ReconstructionReport]:
     """Subtract a decoded frame's waveform from ``samples``.
 
@@ -155,13 +210,20 @@ def reconstruct_and_subtract(
         modem: Technology of the decoded frame.
         frame: The decode result (``payload`` + native-rate ``start``).
         block_s: Gain-fit block length in seconds.
+        memo: Optional per-segment :class:`FrameWaveformMemo`; repeated
+            reconstructions of the same frame then skip the
+            remodulate + resample step.
 
     Returns:
         ``(residual, report)``. The subtraction never amplifies: blocks
         where the LS fit is degenerate are left unchanged.
     """
-    wave = modem.modulate(frame.payload)
-    wave = to_rate(wave, modem.sample_rate, sample_rate_hz)
+    if memo is not None:
+        wave = memo.wave(modem, frame.payload, sample_rate_hz)
+    else:
+        wave = to_rate(
+            modem.modulate(frame.payload), modem.sample_rate, sample_rate_hz
+        )
     start = int(round(frame.start * sample_rate_hz / modem.sample_rate))
     # Local alignment search: a carrier offset biases chirp correlation
     # peaks by several samples (time-frequency coupling), and a
@@ -185,17 +247,23 @@ def reconstruct_and_subtract(
     before = float(np.sum(np.abs(region) ** 2))
     block = max(int(block_s * sample_rate_hz), 128)
     residual = samples.copy()
-    first_gain = 0j
-    for pos in range(0, len(ref), block):
-        r = ref[pos : pos + block]
-        x = region[pos : pos + block]
-        energy = float(np.sum(np.abs(r) ** 2))
-        if energy <= 0:
-            continue
-        gain = complex(np.sum(np.conj(r) * x) / energy)
-        if pos == 0:
-            first_gain = gain
-        residual[start + pos : start + pos + len(r)] = x - gain * r
+    if backend_enabled():
+        # Batched per-block LS: all full blocks fit in two einsum
+        # contractions instead of a Python loop of per-block sums.
+        fitted, first_gain = blocked_ls_subtract(ref, region, block)
+        residual[start:stop] = fitted
+    else:
+        first_gain = 0j
+        for pos in range(0, len(ref), block):
+            r = ref[pos : pos + block]
+            x = region[pos : pos + block]
+            energy = float(np.sum(np.abs(r) ** 2))
+            if energy <= 0:
+                continue
+            gain = complex(np.sum(np.conj(r) * x) / energy)
+            if pos == 0:
+                first_gain = gain
+            residual[start + pos : start + pos + len(r)] = x - gain * r
     after = float(np.sum(np.abs(residual[start:stop]) ** 2))
     cancelled_db = (
         10 * np.log10(before / after) if after > 0 and before > 0 else 0.0

@@ -5,6 +5,12 @@ baseband I/Q) and take explicit sample rates; there is no global state
 and every random operation takes an explicit ``numpy.random.Generator``.
 """
 
+from .backend import (
+    Backend,
+    backend_enabled,
+    get_backend,
+    set_backend,
+)
 from .channel import (
     add_at,
     awgn,
@@ -29,7 +35,9 @@ from .correlation import (
 from .fastcorr import (
     SpectrumPlan,
     TemplateBank,
+    TrackSpec,
     blocked_bank,
+    correlate_accumulate,
     correlate_many,
     fastcorr_enabled,
     set_fastcorr,
@@ -74,6 +82,11 @@ from .resample import (
 from .spectrum import dominant_tones, stft, welch_psd
 
 __all__ = [
+    # backend
+    "Backend",
+    "backend_enabled",
+    "get_backend",
+    "set_backend",
     # channel
     "add_at",
     "awgn",
@@ -95,7 +108,9 @@ __all__ = [
     # fastcorr
     "SpectrumPlan",
     "TemplateBank",
+    "TrackSpec",
     "blocked_bank",
+    "correlate_accumulate",
     "correlate_many",
     "fastcorr_enabled",
     "set_fastcorr",

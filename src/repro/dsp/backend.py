@@ -1,0 +1,372 @@
+"""Pluggable array-compute backend for the PHY hot loops.
+
+The modem hot loops (LoRa sync refinement, O-QPSK rail shaping, FSK
+discriminator filtering, SIC gain fitting) are expressed twice: once as
+the historical per-element Python loops, and once as vectorized kernels
+in this module. Which one runs is a process-wide switch in the spirit of
+``GALIOT_FASTCORR``:
+
+``GALIOT_BACKEND=numpy`` (default)
+    Vectorized kernels, ``complex128`` throughout — the *reference*
+    profile. Results are mathematically identical to the legacy loops
+    (same sums in a different association order), and decode results are
+    pinned identical per modem by the equivalence tests.
+``GALIOT_BACKEND=fast`` (aliases ``numpy-fast``, ``complex64``)
+    The same kernels computing internally in ``complex64``/``float32``.
+    Half the memory traffic on the kernel inner loops; opt-in because
+    single precision is an *accuracy* trade, gated by the equivalence
+    assertions in ``benchmarks/bench_phy.py`` (which records the decode
+    agreement of this profile next to its speedup). Kernel *outputs* are
+    cast back to the canonical ``complex128``/``float64`` dtypes so the
+    :mod:`repro.contracts` boundaries stay satisfied — precision is a
+    kernel-internal policy, never an API-visible dtype change.
+``GALIOT_BACKEND=off`` (aliases ``0``, ``false``, ``no``)
+    Every call site falls back to the legacy loop, bit-identical to the
+    pre-backend releases.
+
+The surface is deliberately array-API shaped: a :class:`Backend` names
+an array namespace (``xp``) plus a dtype policy, and every kernel reads
+arrays through that namespace. A GPU backend (CuPy, or any array-API
+namespace) plugs in by constructing ``Backend(name="cupy", xp=cupy,
+...)`` and passing it to :func:`set_backend` — no kernel rewrites, which
+is the portability argument NN-Defined Modulator makes for tensor-op
+PHYs. Only the NumPy backends ship here (the repo adds no dependencies);
+the seam is the point.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any
+
+import numpy as np
+import numpy.typing as npt
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "Backend",
+    "NUMPY_REFERENCE",
+    "NUMPY_FAST",
+    "LEGACY",
+    "get_backend",
+    "set_backend",
+    "backend_enabled",
+    "derotate",
+    "block_correlation_metrics",
+    "oqpsk_rails_modulate",
+    "oqpsk_rails_demodulate",
+    "cumulative_xor",
+    "nibble_bits",
+    "blocked_ls_subtract",
+]
+
+
+@dataclass(frozen=True)
+class Backend:
+    """One array-compute profile: a namespace plus a dtype policy.
+
+    Attributes:
+        name: Registry name (``"numpy"``, ``"numpy-fast"``, ``"off"``).
+        xp: The array namespace the kernels compute in. NumPy here; any
+            array-API-compatible namespace (CuPy, ...) fits the same
+            slot.
+        complex_dtype: Working complex dtype of the kernel inner loops.
+        real_dtype: Matching real dtype.
+        enabled: ``False`` routes every call site to its legacy loop.
+    """
+
+    name: str
+    xp: Any
+    complex_dtype: Any
+    real_dtype: Any
+    enabled: bool = True
+
+    @property
+    def fast(self) -> bool:
+        """Whether this is a reduced-precision (sub-complex128) profile."""
+        return np.dtype(self.complex_dtype) != np.dtype(np.complex128)
+
+    def as_complex(self, x: np.ndarray) -> np.ndarray:
+        """``x`` in the backend's working complex dtype (no-copy when
+        already there)."""
+        return self.xp.asarray(x, dtype=self.complex_dtype)
+
+    def as_real(self, x: np.ndarray) -> np.ndarray:
+        """``x`` in the backend's working real dtype (no-copy when
+        already there)."""
+        return self.xp.asarray(x, dtype=self.real_dtype)
+
+
+NUMPY_REFERENCE = Backend(
+    name="numpy", xp=np, complex_dtype=np.complex128, real_dtype=np.float64
+)
+NUMPY_FAST = Backend(
+    name="numpy-fast", xp=np, complex_dtype=np.complex64, real_dtype=np.float32
+)
+LEGACY = Backend(
+    name="off",
+    xp=np,
+    complex_dtype=np.complex128,
+    real_dtype=np.float64,
+    enabled=False,
+)
+
+_BY_NAME = {
+    "numpy": NUMPY_REFERENCE,
+    "on": NUMPY_REFERENCE,
+    "fast": NUMPY_FAST,
+    "numpy-fast": NUMPY_FAST,
+    "complex64": NUMPY_FAST,
+    "off": LEGACY,
+}
+
+
+def _backend_from_env() -> Backend:
+    value = os.environ.get("GALIOT_BACKEND", "numpy").strip().lower()
+    if value in {"off", "0", "false", "no"}:
+        return LEGACY
+    return _BY_NAME.get(value, NUMPY_REFERENCE)
+
+
+_BACKEND: Backend = _backend_from_env()
+
+
+def get_backend() -> Backend:
+    """The process-wide active backend."""
+    return _BACKEND
+
+
+def set_backend(backend: Backend | str) -> Backend:
+    """Install a backend process-wide; returns the previous one.
+
+    Accepts a :class:`Backend` instance or a registry name
+    (``"numpy"``, ``"numpy-fast"``/``"fast"``, ``"off"``). The initial
+    value comes from the ``GALIOT_BACKEND`` environment variable.
+    """
+    global _BACKEND
+    if isinstance(backend, str):
+        key = backend.strip().lower()
+        if key in {"0", "false", "no"}:
+            key = "off"
+        if key not in _BY_NAME:
+            valid = ", ".join(sorted(set(_BY_NAME)))
+            raise ConfigurationError(
+                f"unknown backend {backend!r} (expected one of: {valid})"
+            )
+        backend = _BY_NAME[key]
+    previous = _BACKEND
+    _BACKEND = backend
+    return previous
+
+
+def backend_enabled() -> bool:
+    """Whether call sites should use the vectorized kernels."""
+    return _BACKEND.enabled
+
+
+# -- kernels ---------------------------------------------------------------
+
+
+@lru_cache(maxsize=64)
+def _index_ramp(n: int) -> np.ndarray:
+    """Cached ``arange(n)`` — the per-length half of the phasor ramp.
+
+    The exponential itself depends on the (run-time) frequency estimate
+    and cannot be cached, but the index ramp is reused across every
+    derotation of the same span length, which on the LoRa path is every
+    frame of one spreading factor.
+    """
+    ramp = np.arange(n, dtype=np.float64)
+    ramp.flags.writeable = False
+    return ramp
+
+
+def derotate(
+    iq: np.ndarray, freq_hz: float, sample_rate_hz: float
+) -> np.ndarray:
+    """``iq * exp(-2j pi freq_hz/sample_rate_hz * arange(len(iq)))``.
+
+    The phasor-ramp kernel: callers slice ``iq`` down to the span that
+    actually feeds the demodulator before calling (a constant phase
+    offset from rebasing the index origin is irrelevant to every
+    magnitude-domain consumer), so the exponential runs over the frame,
+    not the segment.
+    """
+    backend = get_backend()
+    ramp = _index_ramp(len(iq))
+    rotation = (-2j * np.pi * freq_hz / sample_rate_hz) * ramp
+    if backend.fast:
+        phasor = backend.xp.exp(backend.as_complex(rotation))
+        return np.asarray(
+            backend.as_complex(iq) * phasor, dtype=np.complex128
+        )
+    return iq * np.exp(rotation)
+
+
+def block_correlation_metrics(
+    iq: np.ndarray,
+    ref: np.ndarray,
+    lo: int,
+    n_candidates: int,
+    block: int,
+    n_blocks: int,
+) -> np.ndarray:
+    """Non-coherent blocked correlation metric for a run of candidates.
+
+    ``metric[c] = sum_b |vdot(ref[b*block:(b+1)*block],
+    iq[lo+c+b*block : lo+c+(b+1)*block])|`` for ``c`` in
+    ``0..n_candidates-1`` — the LoRa ``_coarse_sync`` refinement scan as
+    one stacked sliding-window/einsum contraction instead of a nested
+    Python loop of ``vdot`` calls. The caller guarantees
+    ``lo + n_candidates - 1 + n_blocks*block <= len(iq)``.
+
+    Returns a float64 metric array of length ``n_candidates``.
+    """
+    backend = get_backend()
+    used = n_blocks * block
+    region = backend.as_complex(iq[lo : lo + n_candidates - 1 + used])
+    ref_blocks = backend.xp.conj(
+        backend.as_complex(ref[:used])
+    ).reshape(n_blocks, block)
+    windows = np.lib.stride_tricks.sliding_window_view(region, used)
+    stacked = windows.reshape(n_candidates, n_blocks, block)
+    per_block = backend.xp.einsum("cbk,bk->cb", stacked, ref_blocks)
+    return np.asarray(
+        backend.xp.abs(per_block).sum(axis=1), dtype=np.float64
+    )
+
+
+def oqpsk_rails_modulate(
+    levels: npt.NDArray[np.floating], pulse: np.ndarray, sps: int
+) -> np.ndarray:
+    """Half-sine O-QPSK rail shaping as two rail-by-pulse outer products.
+
+    Even-index levels fill the I rail at ``k * 2*sps``; odd-index levels
+    fill the Q rail offset by ``sps``. Each rail's pulses are
+    non-overlapping and contiguous, so placement is one reshape-free
+    outer product per rail instead of a per-chip-pair loop. Output
+    matches :func:`repro.phy.dsss.chips_to_oqpsk`'s legacy loop
+    (unit-RMS over the chip span, half-chip Q tail kept).
+    """
+    backend = get_backend()
+    levels = backend.as_real(levels)
+    pulse = backend.as_real(pulse)
+    n_pairs = levels.size // 2
+    span = n_pairs * 2 * sps
+    i_rail = backend.xp.zeros(span + sps, dtype=backend.real_dtype)
+    q_rail = backend.xp.zeros(span + sps, dtype=backend.real_dtype)
+    i_rail[:span] = (levels[0::2, None] * pulse).ravel()
+    q_rail[sps:] = (levels[1::2, None] * pulse).ravel()
+    wave = i_rail + 1j * q_rail
+    rms = backend.xp.sqrt(
+        backend.xp.mean(backend.xp.abs(wave[:span]) ** 2)
+    )
+    return np.asarray(wave / max(float(rms), 1e-12), dtype=np.complex128)
+
+
+def oqpsk_rails_demodulate(
+    iq: np.ndarray, n_chips: int, pulse: np.ndarray, sps: int
+) -> np.ndarray:
+    """Matched-filter O-QPSK chip decisions as two rail matmuls.
+
+    The I rail's pulse windows tile ``[0, n_pairs*2*sps)`` contiguously
+    and the Q rail's tile the same span offset by ``sps``, so the whole
+    per-pair matched-filter loop collapses to two ``(n_pairs, 2*sps) @
+    pulse`` products. Decisions are sign-of-correlation; the legacy
+    loop's division by the (positive) pulse energy cannot change a sign
+    and is skipped. The caller has already verified the segment covers
+    ``n_pairs * 2 * sps + sps`` samples.
+    """
+    backend = get_backend()
+    iq = np.asarray(iq, dtype=np.complex128)
+    n_pairs = n_chips // 2
+    span = n_pairs * 2 * sps
+    pulse = backend.as_real(pulse)
+    i_corr = backend.as_real(iq.real[:span]).reshape(n_pairs, 2 * sps) @ pulse
+    q_corr = (
+        backend.as_real(iq.imag[sps : sps + span]).reshape(n_pairs, 2 * sps)
+        @ pulse
+    )
+    chips = np.empty(n_chips, dtype=np.uint8)
+    chips[0::2] = i_corr > 0
+    chips[1::2] = q_corr > 0
+    return chips
+
+
+def cumulative_xor(bits: npt.NDArray[np.uint8]) -> np.ndarray:
+    """Running XOR of a bit array — differential (D-BPSK) encoding.
+
+    ``out[i] = bits[0] ^ ... ^ bits[i]``, bit-identical to the legacy
+    per-bit state loop.
+    """
+    return np.bitwise_xor.accumulate(np.asarray(bits, dtype=np.uint8))
+
+
+def nibble_bits(symbols: npt.NDArray[np.uint8]) -> np.ndarray:
+    """LSB-first 4-bit expansion of a symbol array (802.15.4 order).
+
+    Bit-identical to the legacy per-symbol loop in
+    :func:`repro.phy.dsss.symbols_to_bits`.
+    """
+    arr = np.asarray(symbols, dtype=np.uint8).reshape(-1, 1)
+    shifts = np.arange(4, dtype=np.uint8)
+    return ((arr >> shifts) & 1).astype(np.uint8).ravel()
+
+
+def blocked_ls_subtract(
+    ref: np.ndarray, region: np.ndarray, block: int
+) -> tuple[np.ndarray, complex]:
+    """Per-block least-squares subtraction of ``ref`` from ``region``.
+
+    The SIC gain-fit loop as one batched operation: full blocks reshape
+    to a ``(n_blocks, block)`` matrix whose per-row energies and
+    cross-correlations come from two einsum contractions; the remainder
+    block (if any) is fitted scalar-style. Blocks with zero reference
+    energy are left unchanged (the subtraction never amplifies), exactly
+    like the legacy loop.
+
+    Returns:
+        ``(residual_region, first_gain)`` where ``first_gain`` is the
+        fitted gain of the block at offset 0 (``0j`` when degenerate).
+    """
+    backend = get_backend()
+    n = len(ref)
+    out = region.copy()
+    first_gain = 0j
+    n_full = n // block
+    if n_full:
+        ref_mat = backend.as_complex(ref[: n_full * block]).reshape(
+            n_full, block
+        )
+        region_mat = backend.as_complex(region[: n_full * block]).reshape(
+            n_full, block
+        )
+        energies = backend.xp.einsum(
+            "ij,ij->i", ref_mat.real, ref_mat.real
+        ) + backend.xp.einsum("ij,ij->i", ref_mat.imag, ref_mat.imag)
+        numerators = backend.xp.einsum(
+            "ij,ij->i", backend.xp.conj(ref_mat), region_mat
+        )
+        good = energies > 0
+        gains = backend.xp.zeros(n_full, dtype=backend.complex_dtype)
+        gains[good] = numerators[good] / energies[good]
+        out[: n_full * block] = np.asarray(
+            (region_mat - gains[:, None] * ref_mat).ravel(),
+            dtype=np.complex128,
+        )
+        if bool(good[0]):
+            first_gain = complex(gains[0])
+    pos = n_full * block
+    if pos < n:
+        tail_ref = ref[pos:]
+        tail = region[pos:]
+        energy = float(np.sum(np.abs(tail_ref) ** 2))
+        if energy > 0:
+            gain = complex(np.sum(np.conj(tail_ref) * tail) / energy)
+            if pos == 0:
+                first_gain = gain
+            out[pos:] = tail - gain * tail_ref
+    return out, first_gain

@@ -29,7 +29,8 @@ import numpy as np
 from scipy import signal as sp_signal
 
 from ..errors import ConfigurationError
-from .fastcorr import blocked_bank, correlate_many
+from .backend import backend_enabled
+from .fastcorr import TrackSpec, blocked_bank, correlate_accumulate, correlate_many
 
 __all__ = [
     "cross_correlate",
@@ -103,11 +104,21 @@ def segmented_correlation(
     # All blocks share one forward FFT per overlap-save segment (see
     # repro.dsp.fastcorr); the tail past the last full block is dropped.
     bank = blocked_bank(template[:used], block, partial_tail=False)
-    tracks = correlate_many(x, bank)
-    acc = np.zeros(out_len)
-    for offset in bank.keys():
-        corr = tracks[offset]
-        acc += np.abs(corr[offset : offset + out_len])
+    if backend_enabled():
+        # Fused path: block magnitudes fold into the accumulator inside
+        # the engine's chunk loop, skipping the per-block track arrays.
+        spec = TrackSpec(
+            pairs=tuple((offset, offset) for offset in bank.keys()),
+            out_len=out_len,
+            squared=False,
+        )
+        acc = correlate_accumulate(x, bank, {0: spec})[0]
+    else:
+        tracks = correlate_many(x, bank)
+        acc = np.zeros(out_len)
+        for offset in bank.keys():
+            corr = tracks[offset]
+            acc += np.abs(corr[offset : offset + out_len])
     template_norm = np.sqrt(np.sum(np.abs(template[:used]) ** 2)) + _EPS
     window_norm = np.sqrt(np.maximum(_window_energy(x, len(template)), 0.0))
     floor = max(float(window_norm.max(initial=0.0)), template_norm) * 1e-9 + _EPS

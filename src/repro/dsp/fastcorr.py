@@ -67,8 +67,10 @@ __all__ = [
     "spectrum_plan_cache_info",
     "clear_spectrum_plan_cache",
     "TemplateBank",
+    "TrackSpec",
     "blocked_bank",
     "correlate_many",
+    "correlate_accumulate",
     "fastcorr_enabled",
     "set_fastcorr",
 ]
@@ -437,14 +439,19 @@ def correlate_many(
             segmat[seg, : stop - pos] = x[pos:stop]
         fwd = sp_fft.fft(segmat, axis=1)
         # Inverse FFTs batch over (segments x templates), chunked so the
-        # product tensor stays under BATCH_WORK_ELEMENTS.
+        # product tensor stays under BATCH_WORK_ELEMENTS. One product
+        # buffer is reused across chunks and the inverse FFT works in
+        # place on it, so each chunk costs one working set, not three.
         n_keys = len(requested)
         chunk = max(1, BATCH_WORK_ELEMENTS // (n_keys * nfft))
+        product = np.empty(
+            (min(chunk, n_segments), n_keys, nfft), dtype=np.complex128
+        )
         for c0 in range(0, n_segments, chunk):
             c1 = min(c0 + chunk, n_segments)
-            corr = sp_fft.ifft(
-                fwd[c0:c1, None, :] * bank_spectra[None, :, :], axis=2
-            )
+            work = product[: c1 - c0]
+            np.multiply(fwd[c0:c1, None, :], bank_spectra[None, :, :], out=work)
+            corr = sp_fft.ifft(work, axis=2, overwrite_x=True)
             pos0 = c0 * hop
             for row, (key, out_len) in enumerate(
                 zip(requested, out_lens, strict=True)
@@ -460,3 +467,153 @@ def correlate_many(
     telemetry.count("fastcorr.forward_ffts", n_segments)
     telemetry.count("fastcorr.inverse_ffts", n_segments * n_keys)
     return out
+
+
+@dataclass(frozen=True)
+class TrackSpec:
+    """One non-coherent accumulator over a bank's sub-block tracks.
+
+    Attributes:
+        pairs: ``(bank_key, offset)`` terms; the accumulator at index
+            ``n`` sums ``f(|corr_key[n + offset]|)`` over all pairs.
+        out_len: Accumulator length (the caller's valid-track length).
+        squared: ``True`` sums magnitude *squares*
+            (:meth:`~repro.cloud.classify.SegmentClassifier._track`
+            semantics), ``False`` sums magnitudes
+            (:func:`~repro.dsp.correlation.segmented_correlation`
+            semantics).
+    """
+
+    pairs: tuple[tuple[Hashable, int], ...]
+    out_len: int
+    squared: bool = True
+
+
+def correlate_accumulate(
+    x: npt.ArrayLike,
+    bank: TemplateBank,
+    specs: Mapping[Hashable, TrackSpec],
+    telemetry: Telemetry = NULL,
+) -> dict[Hashable, np.ndarray]:
+    """Fused correlate-and-combine for non-coherent blocked detection.
+
+    The classify/segmented-correlation pattern —
+    ``acc[n] += f(|corr_offset[n + offset]|)`` over every coherent
+    sub-block — normally materializes one full complex track per
+    template (tens of megabytes per classify pass on a wide bank) only
+    to reduce each to a magnitude immediately. This entry point performs
+    the reduction *inside* the overlap-save chunk loop: every template's
+    correlation chunk is folded into its group's real accumulator as
+    soon as it leaves the inverse FFT, and the per-template complex
+    tracks are never stored.
+
+    Args:
+        x: Received complex samples.
+        bank: Prebuilt template bank (shared forward FFT across every
+            spec, exactly like :func:`correlate_many`).
+        specs: Accumulator definitions keyed by caller-chosen group key.
+        telemetry: Metrics sink (same spans/counts as
+            :func:`correlate_many`).
+
+    Returns:
+        ``{group_key: float64 accumulator}`` — un-normalized; callers
+        apply their own ``sqrt``/norm scaling.
+
+    With the engine off the per-template tracks come from the legacy
+    ``fftconvolve`` fallback and are combined in pair order, matching
+    the historical accumulation loops exactly.
+    """
+    x = ensure_iq(x)
+    requested: list[Hashable] = []
+    seen: set[Hashable] = set()
+    for spec in specs.values():
+        for key, _ in spec.pairs:
+            if key not in seen:
+                seen.add(key)
+                requested.append(key)
+    if not requested:
+        return {
+            group: np.zeros(spec.out_len) for group, spec in specs.items()
+        }
+    lengths = [bank.length(key) for key in requested]
+    n_samples = len(x)
+    if max(lengths) > n_samples:
+        raise ConfigurationError("template longer than signal")
+    acc = {
+        group: np.zeros(spec.out_len) for group, spec in specs.items()
+    }
+    if not _ENGINE_ENABLED:
+        with telemetry.span("fastcorr.correlate"):
+            tracks = _fallback_correlate(x, bank, requested)
+            for group, spec in specs.items():
+                for key, offset in spec.pairs:
+                    magnitude = np.abs(
+                        tracks[key][offset : offset + spec.out_len]
+                    )
+                    if spec.squared:
+                        acc[group] += magnitude**2
+                    else:
+                        acc[group] += magnitude
+        telemetry.count("fastcorr.fallback_correlations", len(requested))
+        return acc
+
+    plan = spectrum_plan(
+        n_samples, max(lengths), len(requested), min(lengths)
+    )
+    with telemetry.span("fastcorr.correlate"):
+        spectra = bank.spectra(plan.nfft)
+        rows = np.fromiter(
+            (bank.row(key) for key in requested), dtype=np.intp
+        )
+        bank_spectra = spectra[rows]
+        local_rows = {key: i for i, key in enumerate(requested)}
+        track_lens = {
+            key: n_samples - length + 1
+            for key, length in zip(requested, lengths, strict=True)
+        }
+        longest_track = max(track_lens.values())
+        nfft, hop = plan.nfft, plan.hop
+        n_segments = ceil(longest_track / hop)
+        segmat = np.zeros((n_segments, nfft), dtype=np.complex128)
+        for seg in range(n_segments):
+            pos = seg * hop
+            stop = min(pos + nfft, n_samples)
+            segmat[seg, : stop - pos] = x[pos:stop]
+        fwd = sp_fft.fft(segmat, axis=1)
+        n_keys = len(requested)
+        chunk = max(1, BATCH_WORK_ELEMENTS // (n_keys * nfft))
+        product = np.empty(
+            (min(chunk, n_segments), n_keys, nfft), dtype=np.complex128
+        )
+        for c0 in range(0, n_segments, chunk):
+            c1 = min(c0 + chunk, n_segments)
+            work = product[: c1 - c0]
+            np.multiply(fwd[c0:c1, None, :], bank_spectra[None, :, :], out=work)
+            corr = sp_fft.ifft(work, axis=2, overwrite_x=True)
+            pos0 = c0 * hop
+            flat = corr[:, :, :hop]
+            for group, spec in specs.items():
+                target = acc[group]
+                for key, offset in spec.pairs:
+                    track_len = track_lens[key]
+                    if pos0 >= track_len:
+                        continue
+                    t_end = min(c1 * hop, track_len)
+                    # Track positions [pos0, t_end) feed accumulator
+                    # positions [pos0 - offset, t_end - offset), clipped
+                    # to the accumulator's own range.
+                    a0 = max(pos0 - offset, 0)
+                    a1 = min(t_end - offset, spec.out_len)
+                    if a1 <= a0:
+                        continue
+                    row = local_rows[key]
+                    values = flat[:, row, :].reshape(-1)[
+                        a0 + offset - pos0 : a1 + offset - pos0
+                    ]
+                    magnitude = np.abs(values)
+                    if spec.squared:
+                        np.multiply(magnitude, magnitude, out=magnitude)
+                    target[a0:a1] += magnitude
+    telemetry.count("fastcorr.forward_ffts", n_segments)
+    telemetry.count("fastcorr.inverse_ffts", n_segments * n_keys)
+    return acc

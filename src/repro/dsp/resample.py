@@ -39,6 +39,8 @@ __all__ = [
     "ResamplePlan",
     "resample_plan",
     "resample_plan_cache_info",
+    "resample_plan_builds",
+    "reset_resample_plan_builds",
     "clear_resample_plan_cache",
     "set_resample_plan_cache",
     "NativeRateCache",
@@ -120,9 +122,29 @@ def _cached_plan(fs_in: float, fs_out: float) -> ResamplePlan:
     return _build_plan(fs_in, fs_out)
 
 
+#: Count of full plan constructions (ratio reduction + FIR design) since
+#: the last reset. Benchmarks read this to report how much work the plan
+#: cache actually avoids on a given path — hits/misses alone say nothing
+#: about the cost of the misses.
+_PLAN_BUILDS = 0
+
+
+def resample_plan_builds() -> int:
+    """Number of plan constructions since :func:`reset_resample_plan_builds`."""
+    return _PLAN_BUILDS
+
+
+def reset_resample_plan_builds() -> None:
+    """Zero the plan-construction counter (benchmarks)."""
+    global _PLAN_BUILDS
+    _PLAN_BUILDS = 0
+
+
 def _build_plan(fs_in: float, fs_out: float) -> ResamplePlan:
     from fractions import Fraction
 
+    global _PLAN_BUILDS
+    _PLAN_BUILDS += 1
     if abs(fs_in - fs_out) < 1e-9 * fs_in:
         return ResamplePlan(up=1, down=1, window=None)
     ratio = Fraction(fs_out / fs_in).limit_denominator(1_000_000)

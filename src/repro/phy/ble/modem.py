@@ -21,10 +21,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...dsp.backend import backend_enabled
 from ...errors import ChecksumError, ConfigurationError
 from ...phy.base import FrameResult, Modem, ModulationClass
 from ...phy.frames import sample_sync_strided
-from ...phy.fsk import fsk_demodulate_bits, fsk_modulate
+from ...phy.fsk import fsk_demodulate_bits, fsk_frequency_track, fsk_modulate
 from ...utils.bits import bits_to_bytes, bytes_to_bits
 from ...utils.crc import CrcEngine
 from ...utils.whitening import LfsrWhitener
@@ -136,10 +137,17 @@ class BleModem(Modem):
         bound = 8 * (5 + 2 + self.max_payload + 3) * self._sps + self._sps
         iq = iq[start : start + bound]
         frame_start, start = start, 0
+        track = None
+        if backend_enabled():
+            # One discriminator pass over the bound slice feeds both the
+            # header read and the full-body read.
+            track = fsk_frequency_track(
+                iq, self.sample_rate, self._sps, self.bandwidth
+            )
         body_at = start + 8 * (len(_PREAMBLE) + len(_ACCESS_ADDRESS)) * self._sps
         head_bits = fsk_demodulate_bits(
             iq, body_at, 16, self._sps, self.sample_rate,
-            bandwidth_hz=self.bandwidth,
+            bandwidth_hz=self.bandwidth, track=track,
         )
         header = self._whitener().whiten_bytes(
             bits_to_bytes(head_bits, msb_first=False)
@@ -150,7 +158,7 @@ class BleModem(Modem):
         total = 2 + length + 3  # header + payload + CRC24
         body_bits = fsk_demodulate_bits(
             iq, body_at, 8 * total, self._sps, self.sample_rate,
-            bandwidth_hz=self.bandwidth,
+            bandwidth_hz=self.bandwidth, track=track,
         )
         body = self._whitener().whiten_bytes(
             bits_to_bytes(body_bits, msb_first=False)

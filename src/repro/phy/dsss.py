@@ -16,8 +16,14 @@ import numpy as np
 import numpy.typing as npt
 
 from ..contracts import iq_contract
+from ..dsp.backend import (
+    backend_enabled,
+    nibble_bits,
+    oqpsk_rails_demodulate,
+    oqpsk_rails_modulate,
+)
 from ..dsp.filters import half_sine_pulse
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, DecodeError
 from ..utils.bits import as_bit_array
 
 __all__ = [
@@ -76,6 +82,8 @@ def symbols_to_bits(symbols: npt.ArrayLike) -> np.ndarray:
     arr = np.asarray(symbols, dtype=np.uint8).ravel()
     if arr.size and arr.max() > 15:
         raise ConfigurationError("symbols must be in 0..15")
+    if backend_enabled():
+        return nibble_bits(arr)
     out = np.empty(arr.size * 4, dtype=np.uint8)
     for i, s in enumerate(arr):
         out[4 * i : 4 * i + 4] = [(s >> b) & 1 for b in range(4)]
@@ -106,6 +114,8 @@ def chips_to_oqpsk(chips: npt.ArrayLike, sps: int = 2) -> np.ndarray:
         raise ConfigurationError("sps must be an even integer >= 2")
     levels = 2.0 * arr.astype(float) - 1.0
     pulse = half_sine_pulse(2 * sps)  # each rail symbol spans two chips
+    if backend_enabled():
+        return oqpsk_rails_modulate(levels, pulse, sps)
     half = sps  # half-chip-pair offset between rails
     n_pairs = arr.size // 2
     length = (n_pairs + 1) * 2 * sps
@@ -133,6 +143,13 @@ def oqpsk_to_chips(iq: np.ndarray, n_chips: int, sps: int = 2) -> np.ndarray:
     if n_chips % 2:
         raise ConfigurationError("n_chips must be even")
     pulse = half_sine_pulse(2 * sps)
+    if backend_enabled():
+        # The last chip pair's Q window reaches furthest: a segment is
+        # long enough iff it covers n_pairs*2*sps + sps samples —
+        # exactly the first-failure condition of the legacy loop below.
+        if len(iq) < (n_chips // 2) * 2 * sps + sps:
+            raise DecodeError("segment too short for requested chips")
+        return oqpsk_rails_demodulate(iq, n_chips, pulse, sps)
     energy = pulse @ pulse
     chips = np.empty(n_chips, dtype=np.uint8)
     for k in range(n_chips // 2):
@@ -141,7 +158,9 @@ def oqpsk_to_chips(iq: np.ndarray, n_chips: int, sps: int = 2) -> np.ndarray:
         qpos = pos + sps
         seg_q = iq.imag[qpos : qpos + 2 * sps]
         if len(seg_i) < 2 * sps or len(seg_q) < 2 * sps:
-            raise ConfigurationError("segment too short for requested chips")
+            # Data-dependent truncation is a decode failure, not a
+            # caller bug: the residual simply ran out under the frame.
+            raise DecodeError("segment too short for requested chips")
         chips[2 * k] = 1 if (seg_i @ pulse) / energy > 0 else 0
         chips[2 * k + 1] = 1 if (seg_q @ pulse) / energy > 0 else 0
     return chips

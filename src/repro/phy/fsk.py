@@ -12,16 +12,33 @@ by the caller (sample-domain preamble correlation).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 import numpy.typing as npt
+from scipy import signal as sp_signal
 
 from ..contracts import iq_contract
+from ..dsp.backend import backend_enabled, get_backend
 from ..dsp.filters import design_lowpass_fir, gaussian_pulse
 from ..dsp.fm import quadrature_demod
 from ..errors import ConfigurationError
 from ..utils.bits import as_bit_array
 
 __all__ = ["fsk_modulate", "fsk_demodulate_bits", "fsk_frequency_track"]
+
+
+@lru_cache(maxsize=64)
+def _channel_taps(n_taps: int, cutoff_hz: float, sample_rate_hz: float) -> np.ndarray:
+    """Cached (read-only) channel-select FIR design.
+
+    The design is deterministic in its arguments, and the FSK modems
+    redesign the same filter for every demodulate call; caching it is
+    bit-identical.
+    """
+    taps = design_lowpass_fir(n_taps, cutoff_hz, sample_rate_hz)
+    taps.flags.writeable = False
+    return taps
 
 
 def fsk_modulate(
@@ -77,16 +94,34 @@ def fsk_frequency_track(
     """
     if len(iq) < 2:
         return np.zeros(len(iq))
+    fast = backend_enabled()
+    backend = get_backend()
     if bandwidth_hz is not None and bandwidth_hz < sample_rate_hz * 0.9:
         cutoff = min(bandwidth_hz / 2, 0.45 * sample_rate_hz)
-        taps = design_lowpass_fir(129, cutoff, sample_rate_hz)
-        iq = np.convolve(iq, taps, mode="same")
-    inst = quadrature_demod(iq, gain=sample_rate_hz / (2 * np.pi))
+        taps = _channel_taps(129, float(cutoff), float(sample_rate_hz))
+        if fast:
+            # FFT convolution: the 129-tap channel filter is the single
+            # biggest cost of an FSK demodulate on long segments.
+            iq = sp_signal.fftconvolve(
+                backend.as_complex(iq), backend.as_complex(taps), mode="same"
+            )
+        else:
+            iq = np.convolve(iq, taps, mode="same")
+    inst = quadrature_demod(
+        np.asarray(iq, dtype=np.complex128),
+        gain=sample_rate_hz / (2 * np.pi),
+    )
     kernel = np.ones(sps) / sps
-    smooth = np.convolve(inst, kernel, mode="same")
+    if fast:
+        smooth = sp_signal.fftconvolve(
+            backend.as_real(inst), backend.as_real(kernel), mode="same"
+        )
+    else:
+        smooth = np.convolve(inst, kernel, mode="same")
     # quadrature_demod output n sits between samples n and n+1; prepend
     # one element so indexing lines up with the input samples.
-    return np.concatenate(([smooth[0]], smooth))
+    track = np.concatenate(([smooth[0]], smooth))
+    return np.asarray(track, dtype=np.float64)
 
 
 @iq_contract("iq")
@@ -98,6 +133,7 @@ def fsk_demodulate_bits(
     sample_rate_hz: float,
     threshold_hz: float = 0.0,
     bandwidth_hz: float | None = None,
+    track: np.ndarray | None = None,
 ) -> np.ndarray:
     """Slice ``n_bits`` starting at sample ``start`` out of an FSK burst.
 
@@ -111,6 +147,10 @@ def fsk_demodulate_bits(
             carrier offset.
         bandwidth_hz: Channel-select filter width (the signal's occupied
             bandwidth); ``None`` skips the filter.
+        track: Precomputed :func:`fsk_frequency_track` of ``iq`` (same
+            length). The FSK modems read several fields out of one
+            burst; passing the track once avoids recomputing the
+            discriminator chain per read.
 
     Returns:
         uint8 bit array of length ``n_bits``.
@@ -121,6 +161,7 @@ def fsk_demodulate_bits(
     needed = start + n_bits * sps
     if start < 0 or needed > len(iq):
         raise ConfigurationError("bit range exceeds the segment")
-    track = fsk_frequency_track(iq, sample_rate_hz, sps, bandwidth_hz)
+    if track is None:
+        track = fsk_frequency_track(iq, sample_rate_hz, sps, bandwidth_hz)
     centers = start + np.arange(n_bits) * sps + sps // 2
     return (track[centers] > threshold_hz).astype(np.uint8)

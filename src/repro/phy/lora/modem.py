@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...dsp.backend import backend_enabled, block_correlation_metrics, derotate
 from ...dsp.chirp import base_downchirp, base_upchirp, lora_symbol
 from ...errors import ConfigurationError, DecodeError
 from ...phy.base import FrameResult, Modem, ModulationClass
@@ -226,6 +227,20 @@ class LoRaModem(Modem):
         ref = self.sync_reference()
         block = max((1 << self.sf) // 4 * os_, 64)
         n_blocks = max(len(ref) // block, 1)
+        if backend_enabled():
+            lo = max(coarse - os_, 0)
+            # Candidates whose full-reference window would run past the
+            # segment score nothing in the legacy loop; clamp them out
+            # up front.
+            hi = min(coarse + os_, len(iq) - len(ref))
+            if hi < lo:
+                return coarse, score
+            metrics = block_correlation_metrics(
+                iq, ref, lo, hi - lo + 1, block, n_blocks
+            )
+            # argmax keeps the first maximum — same candidate the legacy
+            # strict-greater scan settles on.
+            return lo + int(np.argmax(metrics)), score
         best = coarse
         best_metric = -1.0
         for cand in range(max(coarse - os_, 0), coarse + os_ + 1):
@@ -241,20 +256,46 @@ class LoRaModem(Modem):
                 best = cand
         return best, score
 
+    def _frame_span(self) -> int:
+        """Upper bound on sync + data samples one frame can occupy."""
+        if self.implicit_length is not None:
+            max_body = self.implicit_length + 2
+        else:
+            max_body = encoding.HEADER_BYTES + self.max_payload + 2
+        n_data = encoding.symbols_for_body(max_body, self.sf, self.cr)
+        return len(self.sync_reference()) + n_data * self.samples_per_symbol
+
     def demodulate(self, iq: np.ndarray) -> FrameResult:
         iq = np.asarray(iq, dtype=np.complex128)
         start, score = self._coarse_sync(iq)
+        abs_start = start
+        if backend_enabled():
+            # Work on the sync+frame span only: the derotations below
+            # then cost O(frame), not O(segment), and the cached-ramp
+            # kernel applies. Rebasing the index origin to the slice
+            # start adds a constant phase to the derotated samples,
+            # which the magnitude-domain dechirp FFT cannot see.
+            iq = iq[start : start + self._frame_span()]
+            start = 0
         cfo_hz = self._combined_offset_hz(iq, start)
         if abs(cfo_hz) > 1e-3:
-            n_idx = np.arange(len(iq))
-            iq = iq * np.exp(-2j * np.pi * cfo_hz * n_idx / self.sample_rate)
+            if backend_enabled():
+                iq = derotate(iq, cfo_hz, self.sample_rate)
+            else:
+                n_idx = np.arange(len(iq))
+                iq = iq * np.exp(
+                    -2j * np.pi * cfo_hz * n_idx / self.sample_rate
+                )
             # One refinement pass: the first estimate is biased by
             # spectral leakage at half-bin offsets.
             residual = self._combined_offset_hz(iq, start)
             if abs(residual) > 1e-3:
-                iq = iq * np.exp(
-                    -2j * np.pi * residual * n_idx / self.sample_rate
-                )
+                if backend_enabled():
+                    iq = derotate(iq, residual, self.sample_rate)
+                else:
+                    iq = iq * np.exp(
+                        -2j * np.pi * residual * n_idx / self.sample_rate
+                    )
                 cfo_hz += residual
         data_at = start + len(self.sync_reference())
         block = 4 + self.cr
@@ -292,7 +333,7 @@ class LoRaModem(Modem):
         return FrameResult(
             payload=payload,
             crc_ok=crc_ok,
-            start=start,
+            start=abs_start,
             sync_score=score,
             corrected_errors=corrected,
             extra={

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...dsp.backend import backend_enabled
 from ...errors import ChecksumError, ConfigurationError
 from ...phy.base import FrameResult, Modem, ModulationClass
 from ...phy.frames import sample_sync_strided
@@ -130,13 +131,22 @@ class XBeeModem(Modem):
 
     # -- demodulation ----------------------------------------------------------
 
-    def _estimate_cfo(self, iq: np.ndarray, start: int) -> float:
+    def _estimate_cfo(
+        self, iq: np.ndarray, start: int, track: np.ndarray | None = None
+    ) -> float:
         """Mean frequency over the alternating preamble = carrier offset."""
         span = 8 * len(_PREAMBLE) * self._sps
-        track = fsk_frequency_track(
-            iq[start : start + span], self.sample_rate, self._sps, self.bandwidth
-        )
-        return float(np.mean(track)) if len(track) else 0.0
+        if track is None:
+            track = fsk_frequency_track(
+                iq[start : start + span],
+                self.sample_rate,
+                self._sps,
+                self.bandwidth,
+            )
+            window = track
+        else:
+            window = track[start : start + span]
+        return float(np.mean(window)) if len(window) else 0.0
 
     def demodulate(self, iq: np.ndarray) -> FrameResult:
         iq = np.asarray(iq, dtype=np.complex128)
@@ -153,12 +163,19 @@ class XBeeModem(Modem):
         bound = 8 * (len(_PREAMBLE) + len(_SFD) + 1 + self.max_payload + 2)
         iq = iq[start : start + bound * self._sps + self._sps]
         frame_start, start = start, 0
-        cfo = self._estimate_cfo(iq, start)
+        track = None
+        if backend_enabled():
+            # One discriminator pass over the bound slice feeds the CFO
+            # estimate, the PHR read and the PSDU read.
+            track = fsk_frequency_track(
+                iq, self.sample_rate, self._sps, self.bandwidth
+            )
+        cfo = self._estimate_cfo(iq, start, track=track)
         header_bits = 8 * (len(_PREAMBLE) + len(_SFD))
         phr_at = start + header_bits * self._sps
         phr = fsk_demodulate_bits(
             iq, phr_at, 8, self._sps, self.sample_rate,
-            threshold_hz=cfo, bandwidth_hz=self.bandwidth,
+            threshold_hz=cfo, bandwidth_hz=self.bandwidth, track=track,
         )
         psdu_len = bits_to_int(phr)
         if psdu_len < 2 or psdu_len > self.max_payload + 2:
@@ -166,7 +183,7 @@ class XBeeModem(Modem):
         psdu_at = phr_at + 8 * self._sps
         psdu_bits = fsk_demodulate_bits(
             iq, psdu_at, 8 * psdu_len, self._sps, self.sample_rate,
-            threshold_hz=cfo, bandwidth_hz=self.bandwidth,
+            threshold_hz=cfo, bandwidth_hz=self.bandwidth, track=track,
         )
         psdu = self._whitener.whiten_bytes(bits_to_bytes(psdu_bits))
         crc_ok = CRC16_CCITT.check(psdu)

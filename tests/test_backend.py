@@ -1,0 +1,234 @@
+"""The compute-backend seam: profile API and kernel equivalence.
+
+Two tiers of equivalence (see ``docs/architecture.md``):
+
+* *bit-identical*: integer/gather kernels (CSS symbol gather, D-BPSK
+  cumulative XOR, 802.15.4 nibble expansion) must match the legacy
+  loops exactly — ``array_equal``, no tolerance.
+* *decode-identical*: float kernels reassociate sums, so arrays match
+  to ``allclose`` while decode *results* (payload, CRC, start) are
+  pinned identical per modem under the reference profile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dsp.backend import (
+    LEGACY,
+    NUMPY_FAST,
+    NUMPY_REFERENCE,
+    backend_enabled,
+    block_correlation_metrics,
+    blocked_ls_subtract,
+    cumulative_xor,
+    derotate,
+    get_backend,
+    nibble_bits,
+    set_backend,
+)
+from repro.errors import ConfigurationError
+from repro.phy.css import modulate_symbols
+from repro.phy.dsss import chips_to_oqpsk, oqpsk_to_chips, symbols_to_bits
+from repro.phy.psk import dbpsk_encode
+
+from .conftest import pad
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    previous = get_backend()
+    yield
+    set_backend(previous)
+
+
+def _complex(rng: np.random.Generator, n: int) -> np.ndarray:
+    return rng.normal(size=n) + 1j * rng.normal(size=n)
+
+
+class TestSeamApi:
+    def test_set_backend_returns_previous(self):
+        first = set_backend("off")
+        second = set_backend("numpy")
+        assert second is LEGACY
+        assert get_backend() is NUMPY_REFERENCE
+        set_backend(first)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            set_backend("cuda-dreams")
+        # A rejected name must not clobber the active backend.
+        assert get_backend() in (NUMPY_REFERENCE, NUMPY_FAST, LEGACY)
+
+    @pytest.mark.parametrize(
+        ("alias", "expected"),
+        [
+            ("numpy", NUMPY_REFERENCE),
+            ("on", NUMPY_REFERENCE),
+            ("fast", NUMPY_FAST),
+            ("numpy-fast", NUMPY_FAST),
+            ("complex64", NUMPY_FAST),
+            ("off", LEGACY),
+            ("0", LEGACY),
+            ("false", LEGACY),
+            ("no", LEGACY),
+        ],
+    )
+    def test_name_aliases(self, alias, expected):
+        set_backend(alias)
+        assert get_backend() is expected
+
+    def test_enabled_flag_gates_call_sites(self):
+        set_backend("off")
+        assert not backend_enabled()
+        set_backend("numpy")
+        assert backend_enabled()
+
+    def test_fast_flag_tracks_precision(self):
+        assert not NUMPY_REFERENCE.fast
+        assert NUMPY_FAST.fast
+        assert NUMPY_FAST.as_complex(np.ones(3, complex)).dtype == np.complex64
+        assert NUMPY_FAST.as_real(np.ones(3)).dtype == np.float32
+
+    def test_custom_backend_instance_installs(self):
+        # The GPU plug-in story: any Backend instance slots in.
+        custom = NUMPY_REFERENCE
+        set_backend("off")
+        set_backend(custom)
+        assert get_backend() is custom
+
+
+class TestKernelEquivalence:
+    def test_derotate_matches_formula(self, rng):
+        iq = _complex(rng, 512)
+        set_backend("numpy")
+        expected = iq * np.exp(-2j * np.pi * 750.0 / 1e6 * np.arange(512))
+        assert np.array_equal(derotate(iq, 750.0, 1e6), expected)
+
+    def test_derotate_fast_close_and_float64_out(self, rng):
+        iq = _complex(rng, 512)
+        set_backend("numpy")
+        ref = derotate(iq, 750.0, 1e6)
+        set_backend("fast")
+        fast = derotate(iq, 750.0, 1e6)
+        assert fast.dtype == np.complex128  # contracts-canonical output
+        np.testing.assert_allclose(fast, ref, atol=5e-4)
+
+    def test_block_metrics_match_vdot_loop(self, rng):
+        iq = _complex(rng, 800)
+        ref = _complex(rng, 256)
+        lo, n_candidates, block = 40, 17, 64
+        n_blocks = len(ref) // block
+        set_backend("numpy")
+        got = block_correlation_metrics(iq, ref, lo, n_candidates, block, n_blocks)
+        expected = np.array(
+            [
+                sum(
+                    abs(
+                        np.vdot(
+                            ref[b * block : (b + 1) * block],
+                            iq[lo + c + b * block : lo + c + (b + 1) * block],
+                        )
+                    )
+                    for b in range(n_blocks)
+                )
+                for c in range(n_candidates)
+            ]
+        )
+        np.testing.assert_allclose(got, expected, rtol=1e-12)
+
+    def test_css_gather_bit_identical(self):
+        symbols = [0, 1, 5, 127, 63]
+        set_backend("numpy")
+        on = modulate_symbols(symbols, sf=7, oversample=4)
+        set_backend("off")
+        off = modulate_symbols(symbols, sf=7, oversample=4)
+        assert np.array_equal(on, off)
+
+    def test_cumulative_xor_bit_identical(self, rng):
+        bits = rng.integers(0, 2, size=257, dtype=np.uint8)
+        state = 0
+        expected = np.empty_like(bits)
+        for i, b in enumerate(bits):
+            state ^= int(b)
+            expected[i] = state
+        assert np.array_equal(cumulative_xor(bits), expected)
+        set_backend("numpy")
+        on = dbpsk_encode(bits)
+        set_backend("off")
+        assert np.array_equal(on, dbpsk_encode(bits))
+
+    def test_nibble_bits_bit_identical(self, rng):
+        symbols = rng.integers(0, 16, size=33, dtype=np.uint8)
+        expected = np.array(
+            [(int(s) >> k) & 1 for s in symbols for k in range(4)],
+            dtype=np.uint8,
+        )
+        assert np.array_equal(nibble_bits(symbols), expected)
+        set_backend("numpy")
+        on = symbols_to_bits(symbols)
+        set_backend("off")
+        assert np.array_equal(on, symbols_to_bits(symbols))
+
+    def test_oqpsk_rails_roundtrip_matches_legacy(self, rng):
+        chips = rng.integers(0, 2, size=64, dtype=np.uint8)
+        set_backend("numpy")
+        wave_on = chips_to_oqpsk(chips, sps=4)
+        chips_on = oqpsk_to_chips(wave_on, len(chips), sps=4)
+        set_backend("off")
+        wave_off = chips_to_oqpsk(chips, sps=4)
+        chips_off = oqpsk_to_chips(wave_off, len(chips), sps=4)
+        np.testing.assert_allclose(wave_on, wave_off, rtol=1e-12, atol=1e-12)
+        assert np.array_equal(chips_on, chips)
+        assert np.array_equal(chips_off, chips)
+
+    def test_blocked_ls_matches_per_block_fit(self, rng):
+        ref = _complex(rng, 300)
+        region = 1.7j * ref + 0.01 * _complex(rng, 300)
+        block = 64
+        set_backend("numpy")
+        got, first_gain = blocked_ls_subtract(ref, region, block)
+        expected = region.copy()
+        for pos in range(0, len(ref), block):
+            r = ref[pos : pos + block]
+            energy = float(np.sum(np.abs(r) ** 2))
+            if energy <= 0:
+                continue
+            gain = np.sum(np.conj(r) * region[pos : pos + block]) / energy
+            expected[pos : pos + block] -= gain * r
+            if pos == 0:
+                assert first_gain == pytest.approx(complex(gain))
+        np.testing.assert_allclose(got, expected, rtol=1e-10, atol=1e-12)
+
+    def test_blocked_ls_zero_energy_block_untouched(self):
+        ref = np.zeros(128, complex)
+        region = np.ones(128, complex)
+        set_backend("numpy")
+        out, first_gain = blocked_ls_subtract(ref, region, 64)
+        assert np.array_equal(out, region)
+        assert first_gain == 0j
+
+
+class TestModemEquivalence:
+    """Backend on/off/fast decode the same clean frame identically."""
+
+    @pytest.fixture(scope="class")
+    def modems(self, lora, xbee, zwave, ble, sigfox, oqpsk):
+        return [lora, xbee, zwave, ble, sigfox, oqpsk]
+
+    @pytest.mark.parametrize(
+        "name", ["lora", "xbee", "zwave", "ble", "sigfox", "oqpsk154"]
+    )
+    @pytest.mark.parametrize("profile", ["off", "fast"])
+    def test_decode_matches_reference(self, modems, name, profile):
+        modem = next(m for m in modems if m.name == name)
+        payload = b"seam-ok"[: modem.max_payload]
+        frame_iq = pad(modem.modulate(payload))
+        set_backend("numpy")
+        ref = modem.demodulate(frame_iq)
+        set_backend(profile)
+        other = modem.demodulate(frame_iq)
+        assert other.payload == ref.payload == payload
+        assert other.crc_ok and ref.crc_ok
+        assert other.start == ref.start

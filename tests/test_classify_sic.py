@@ -137,6 +137,19 @@ class TestClassifier:
         monkeypatch.setattr(
             "repro.cloud.classify.correlate_many", fake_correlate_many
         )
+
+        # The backend-on classify path accumulates inside the engine
+        # instead of materializing tracks; fake that entry point too so
+        # the tie-order pin holds on both paths.
+        def fake_correlate_accumulate(sig, bank, specs, telemetry=None):
+            assert list(specs) == [0]
+            assert specs[0].pairs == (((0, 0), 0),)
+            return {0: np.abs(track)}
+
+        monkeypatch.setattr(
+            "repro.cloud.classify.correlate_accumulate",
+            fake_correlate_accumulate,
+        )
         samples = np.zeros(1024, complex)
         samples[:] = 0.01  # nonzero so amplitude estimation is defined
         found = clf.classify(samples)
