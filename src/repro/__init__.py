@@ -41,6 +41,7 @@ from .errors import (
     ReproError,
     UnknownTechnologyError,
 )
+from .guard import DecodeGuard, GuardStats
 from .telemetry import NULL, NullTelemetry, Telemetry, format_snapshot
 from .types import DecodeResult, DetectionEvent, PacketTruth, SceneTruth, Segment
 
@@ -61,6 +62,8 @@ __all__ = [
     "sanitize",
     "iq_contract",
     "real_contract",
+    "DecodeGuard",
+    "GuardStats",
     "Telemetry",
     "NullTelemetry",
     "NULL",

@@ -352,6 +352,80 @@ def _run_chaos(args: argparse.Namespace) -> int:
     return 0 if ratio >= 0.95 else 1
 
 
+def _run_attack(args: argparse.Namespace) -> int:
+    """Scored adversarial drill: legit-traffic survival under attack."""
+    from .net.adversary import build_attack_scenario
+    from .net.attackdrill import run_attack_drill
+
+    technologies = tuple(n.strip() for n in args.technologies.split(","))
+    plan = build_attack_scenario(
+        args.scenario,
+        seed=args.seed,
+        duration_s=args.duration,
+        technologies=technologies,
+        n_packets_hint=args.packets,
+    )
+    print(f"scenario {args.scenario!r} (seed {args.seed}):")
+    for j in plan.jammers:
+        extra = f" period {j.period_s * 1e3:.0f} ms duty {j.duty:.2f}" if j.kind == "pulse" else ""
+        print(
+            f"  {j.kind + ' jammer':<15} {j.start_s:.3f}s .. {j.end_s:.3f}s "
+            f"power {j.power:.1f}x{extra}"
+        )
+    for r in plan.replays:
+        print(
+            f"  replay          packet #{r.victim} after +{r.delay_s:.3f}s "
+            f"({r.gain_db:+.1f} dB)"
+        )
+    for s in plan.spoofs:
+        print(f"  spoof           {s.technology} preamble at {s.start_s:.3f}s")
+    if plan.is_empty():
+        print("  (no adversary: measures the hardening layer's clean-air overhead)")
+    print()
+
+    report = run_attack_drill(
+        args.scenario,
+        seed=args.seed,
+        duration_s=args.duration,
+        packets=args.packets,
+        snr_db=args.snr,
+        technologies=technologies,
+        rate_mbps=args.rate_mbps,
+        chunk=args.chunk,
+        hardened=not args.unhardened,
+    )
+    print(
+        f"baseline frames: {report.baseline_frames}  "
+        f"accepted under attack: {report.accepted_frames}  "
+        f"survival: {100 * report.survival:.1f}%"
+    )
+    print(
+        f"acceptance hygiene: {report.false_decodes} false decodes "
+        f"({100 * report.false_decode_rate:.2f}%), "
+        f"{report.replay_accepts} replays accepted "
+        f"(guard rejected {report.guard.replays_rejected} replays, "
+        f"{report.guard.duplicates_rejected} duplicates, "
+        f"{report.guard.corrupt_rejected} corrupt)"
+    )
+    latency = report.detection_latency_s
+    latency_str = (
+        "n/a (no jammers)" if latency is None
+        else "undetected" if latency == float("inf")
+        else f"{latency * 1e3:.1f} ms"
+    )
+    print(
+        f"jamming: {report.jamming_events} events, "
+        f"detection latency {latency_str}"
+    )
+    print(
+        f"gateway: {report.degraded_segments} degraded (metadata-only), "
+        f"{report.dropped_segments} evicted"
+    )
+    print()
+    print(format_snapshot(report.telemetry.snapshot()))
+    return 0 if report.passed() else 1
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     """Fleet-scale ingestion demo: load generator -> service -> farm."""
     from .cloud import ParallelCloudService
@@ -649,6 +723,50 @@ def main(argv: list[str] | None = None) -> int:
         "--seed", type=int, default=0xC0FFEE, help="scene + fault RNG seed"
     )
     chaos.set_defaults(func=_run_chaos)
+    attack = sub.add_parser(
+        "attack",
+        help="run a seeded adversary scenario against the hardened pipeline",
+    )
+    from .net.adversary import ATTACK_SCENARIOS
+
+    attack.add_argument(
+        "--scenario", choices=ATTACK_SCENARIOS, default="mixed",
+        help="named attack scenario to render (default: mixed; 'none' "
+        "measures the hardening layer's clean-air overhead)",
+    )
+    attack.add_argument(
+        "--chunk", type=_positive_int, default=262_144,
+        help="streaming chunk size in samples (default: 262144)",
+    )
+    attack.add_argument(
+        "--duration", type=float, default=2.0,
+        help="scene duration in seconds (default: 2.0)",
+    )
+    attack.add_argument(
+        "--packets", type=_positive_int, default=48,
+        help="honest packets placed in the scene (default: 48)",
+    )
+    attack.add_argument(
+        "--snr", type=float, default=12.0,
+        help="per-packet capture SNR in dB (default: 12)",
+    )
+    attack.add_argument(
+        "--rate-mbps", type=float, default=20.0,
+        help="backhaul link rate in Mbit/s (default: 20)",
+    )
+    attack.add_argument(
+        "--technologies", default="xbee,zwave",
+        help="comma-separated modem round-robin (default: xbee,zwave)",
+    )
+    attack.add_argument(
+        "--unhardened", action="store_true",
+        help="disable the hardened receive path (what the guards are worth)",
+    )
+    attack.add_argument(
+        "--seed", type=int, default=0xC0FFEE,
+        help="scene + attack-plan RNG seed",
+    )
+    attack.set_defaults(func=_run_attack)
     serve = sub.add_parser(
         "serve",
         help="offer a fleet-scale tenant workload to the ingestion service",

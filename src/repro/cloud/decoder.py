@@ -74,6 +74,11 @@ class CloudDecoder:
             is ``use_kill_filters=True, strict_order=False``.
         max_iterations: Safety bound on the decode loop.
         classifier_k: CFAR factor handed to the classifier.
+        sync_retries: Per-decode re-sync attempts after a CRC failure
+            (see :func:`~repro.cloud.sic.try_decode`). Zero — the
+            default, bit-identical to prior releases — lets one forged
+            preamble shadow a real same-technology frame in the same
+            segment; the hardened receive path runs with 2.
         telemetry: Metrics sink (the shared no-op by default).
     """
 
@@ -85,15 +90,19 @@ class CloudDecoder:
         strict_order: bool = False,
         max_iterations: int = 12,
         classifier_k: float = 8.0,
+        sync_retries: int = 0,
         telemetry: Telemetry = NULL,
     ):
         if not modems:
             raise ConfigurationError("at least one modem is required")
+        if sync_retries < 0:
+            raise ConfigurationError("sync_retries must be >= 0")
         self.modems = {m.name: m for m in modems}
         self.sample_rate_hz = float(sample_rate_hz)
         self.use_kill_filters = use_kill_filters
         self.strict_order = strict_order
         self.max_iterations = int(max_iterations)
+        self.sync_retries = int(sync_retries)
         self.classifier = SegmentClassifier(
             modems, sample_rate_hz, k=classifier_k, telemetry=telemetry
         )
@@ -234,7 +243,7 @@ class CloudDecoder:
             modem = self.modems[strongest.technology]
             frame = try_decode(
                 modem, working, self.sample_rate_hz, rates=rates,
-                telemetry=self.telemetry,
+                telemetry=self.telemetry, sync_retries=self.sync_retries,
             )
             if frame is not None and not any(
                 self._same_frame(r, frame.start, strongest.technology)
@@ -295,6 +304,7 @@ class CloudDecoder:
                     frame = try_decode(
                         modem, filtered, self.sample_rate_hz,
                         telemetry=self.telemetry,
+                        sync_retries=self.sync_retries,
                     )
                     if frame is not None and any(
                         self._same_frame(r, frame.start, strongest.technology)

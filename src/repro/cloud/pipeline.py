@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..gateway.compression import CompressedSegment, SegmentCodec
+from ..guard import DecodeGuard
 from ..phy.base import Modem
 from ..telemetry import NULL, Telemetry
 from ..types import DecodeResult, Segment
@@ -90,6 +91,10 @@ class CloudService:
         sample_rate_hz: Capture sample rate of arriving segments.
         use_kill_filters: False runs the SIC-only baseline.
         codec: Wire codec for compressed segments.
+        guard: Optional :class:`~repro.guard.DecodeGuard` applied to
+            every decoded frame (replay / duplicate / false-decode
+            admission control). Share one instance with the gateway's
+            edge decoder so edge-resolved frames inoculate the cloud.
         telemetry: Metrics sink threaded into the decoder and codec
             (the shared no-op by default).
     """
@@ -101,6 +106,8 @@ class CloudService:
         use_kill_filters: bool = True,
         strict_order: bool = False,
         codec: SegmentCodec | None = None,
+        guard: DecodeGuard | None = None,
+        sync_retries: int = 0,
         telemetry: Telemetry = NULL,
     ):
         self.telemetry = telemetry
@@ -109,11 +116,15 @@ class CloudService:
             sample_rate_hz,
             use_kill_filters=use_kill_filters,
             strict_order=strict_order,
+            sync_retries=sync_retries,
             telemetry=telemetry,
         )
         self.codec = codec or SegmentCodec(telemetry=telemetry)
         if self.codec.telemetry is NULL:
             self.codec.telemetry = telemetry
+        self.guard = guard
+        if self.guard is not None and self.guard.telemetry is NULL:
+            self.guard.telemetry = telemetry
         self.stats = CloudStats()
 
     def process_segment(self, segment: Segment) -> list[DecodeResult]:
@@ -128,7 +139,7 @@ class CloudService:
         # them raw misplaces every frame of a modem whose native rate
         # differs from the capture rate.
         capture_rate = self.decoder.sample_rate_hz
-        return [
+        results = [
             DecodeResult(
                 technology=r.technology,
                 payload=r.payload,
@@ -146,6 +157,9 @@ class CloudService:
             )
             for r in report.results
         ]
+        if self.guard is not None:
+            results = self.guard.filter(results, capture_rate)
+        return results
 
     def process_compressed(
         self, compressed: CompressedSegment

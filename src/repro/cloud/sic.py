@@ -99,6 +99,7 @@ def try_decode(
     sample_rate_hz: float,
     rates: NativeRateCache | None = None,
     telemetry: Telemetry = NULL,
+    sync_retries: int = 0,
 ) -> FrameResult | None:
     """Attempt a plain decode of ``modem`` on ``samples`` at rate ``sample_rate_hz``.
 
@@ -113,6 +114,15 @@ def try_decode(
 
     ``rates``, when given, must wrap ``samples`` and supplies the
     memoized native-rate view instead of resampling again.
+
+    ``sync_retries`` is the anti-spoofing knob: a demodulator locks onto
+    its best sync match, so a *valid preamble with a corrupt body* — the
+    spoofer's signature — shadows every later frame of the same
+    technology in the buffer and one forged preamble silences a real
+    one. With retries enabled, each CRC failure nulls the failed
+    frame's sync region (in a private copy; cached native-rate views
+    are shared) and re-syncs, up to ``sync_retries`` times. Zero keeps
+    the historical single-lock behavior bit-identical.
     """
     try:
         if rates is not None:
@@ -125,6 +135,22 @@ def try_decode(
     except Exception:
         telemetry.count("cloud.decode_errors")
         return None
+    for _ in range(sync_retries):
+        if frame.crc_ok:
+            break
+        lo = max(int(frame.start), 0)
+        if lo >= len(native):
+            break
+        telemetry.count("cloud.sync_retries")
+        native = np.array(native, copy=True)
+        native[lo : lo + len(modem.sync_reference())] = 0
+        try:
+            frame = modem.demodulate(native)
+        except ReproError:
+            return None
+        except Exception:
+            telemetry.count("cloud.decode_errors")
+            return None
     return frame if frame.crc_ok else None
 
 

@@ -63,6 +63,7 @@ from .impairments import (
     cfo_from_ppm,
     quantize,
 )
+from .jam import cw_tone, pulsed_noise, swept_tone
 from .measure import (
     estimate_noise_floor,
     estimate_snr_db,
@@ -135,6 +136,10 @@ __all__ = [
     "apply_phase",
     "cfo_from_ppm",
     "quantize",
+    # jam
+    "cw_tone",
+    "pulsed_noise",
+    "swept_tone",
     # measure
     "estimate_noise_floor",
     "estimate_snr_db",

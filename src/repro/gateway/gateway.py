@@ -22,7 +22,9 @@ import numpy as np
 
 from ..contracts import iq_contract
 from ..errors import CapacityError
+from ..guard import DecodeGuard
 from ..phy.base import Modem
+from ..sensing.jamming import JammingDetector, JammingEvent
 from ..telemetry import NULL, Telemetry
 from ..types import DecodeResult, DetectionEvent, Segment
 from .backhaul import BackhaulLink
@@ -53,6 +55,9 @@ class GatewayReport:
             explicit drop-policy evictions land here).
         degraded_segments: Segments shipped metadata-only by the
             degradation ladder (the cloud cannot joint-decode them).
+        jamming_events: Spectrum anomalies the gateway's
+            :class:`~repro.sensing.jamming.JammingDetector` flagged
+            (empty when no detector is configured).
     """
 
     events: list[DetectionEvent] = field(default_factory=list)
@@ -63,6 +68,7 @@ class GatewayReport:
     raw_bits: int = 0
     dropped_segments: int = 0
     degraded_segments: int = 0
+    jamming_events: list[JammingEvent] = field(default_factory=list)
 
     @property
     def backhaul_saving(self) -> float:
@@ -92,6 +98,7 @@ class GatewayReport:
         self.raw_bits += other.raw_bits
         self.dropped_segments += other.dropped_segments
         self.degraded_segments += other.degraded_segments
+        self.jamming_events.extend(other.jamming_events)
         return self
 
     @staticmethod
@@ -122,6 +129,15 @@ class GalioTGateway:
             sustained backpressure (resilient backhaul only) shipping
             degrades full -> compressed -> metadata-only and recovers
             when the link heals.
+        jamming: Optional
+            :class:`~repro.sensing.jamming.JammingDetector` fed every
+            front-end sample; its events land in the report and its
+            pressure signal is folded into the degradation ladder, so
+            jamming-induced backpressure degrades shipping early.
+        guard: Optional :class:`~repro.guard.DecodeGuard` applied to
+            edge-decoded frames (replay / duplicate admission control).
+            Share the instance with the cloud service so a frame
+            accepted on either side inoculates the other.
         telemetry: Metrics sink threaded through every stage (the
             shared no-op by default).
         detector_kwargs: Extra arguments for the chosen detector.
@@ -137,6 +153,8 @@ class GalioTGateway:
         codec: SegmentCodec | None = None,
         backhaul: BackhaulLink | ResilientBackhaul | None = None,
         degradation: DegradationLadder | None = None,
+        jamming: JammingDetector | None = None,
+        guard: DecodeGuard | None = None,
         telemetry: Telemetry | None = None,
         **detector_kwargs,
     ):
@@ -163,6 +181,12 @@ class GalioTGateway:
         self.degradation = degradation
         if self.degradation is not None and self.degradation.telemetry is NULL:
             self.degradation.telemetry = self.telemetry
+        self.jamming = jamming
+        if self.jamming is not None and self.jamming.telemetry is NULL:
+            self.jamming.telemetry = self.telemetry
+        self.guard = guard
+        if self.guard is not None and self.guard.telemetry is NULL:
+            self.guard.telemetry = self.telemetry
         self._degraded_codec: SegmentCodec | None = None
         self.extractor = SegmentExtractor(
             self.modems, self.sample_rate_hz, telemetry=self.telemetry
@@ -214,7 +238,41 @@ class GalioTGateway:
         else:
             samples = capture
             raw_bits = len(samples) * 2 * 8
+        if self.jamming is not None:
+            # Shared choke point of the monolithic and streaming fronts:
+            # feeding here keeps their jamming timelines identical.
+            self.jamming.feed(samples)
         return samples, raw_bits
+
+    def admit_event(self, event: DetectionEvent) -> bool:
+        """Jam-gated detection admission.
+
+        A wideband jammer raises the noise floor, and with it the
+        matched-filter scores of pure noise — without a gate, every
+        burst floods the extractor with spurious events whose segments
+        then drown the backhaul (jamming-induced backpressure). During
+        a block the jamming detector attributes to sustained
+        interference, a detection must clear the calibrated threshold
+        scaled by the measured floor's *amplitude* ratio — exactly the
+        margin the raised floor hands to noise, and comfortably inside
+        a real preamble's matched-filter headroom. Without a jamming
+        detector, a frozen threshold, or a floor rise, every event is
+        admitted unchanged.
+        """
+        if self.jamming is None:
+            return True
+        rise_db = self.jamming.rise_at(event.index / self.sample_rate_hz)
+        if rise_db <= 0:
+            return True
+        threshold = getattr(self.detector, "threshold", None)
+        if isinstance(threshold, dict):
+            threshold = threshold.get(event.technology)
+        if not threshold:
+            return True
+        if event.score >= threshold * 10 ** (rise_db / 20):
+            return True
+        self.telemetry.count("attack.gated_detections")
+        return False
 
     # Fixed metadata-only wire cost: a 16-byte segment header plus one
     # 32-byte record (start, length, rate, score, technology tag) per
@@ -238,7 +296,19 @@ class GalioTGateway:
         ship = True
         if self.edge is not None:
             outcome = self.edge.try_decode(segment)
-            report.edge_results.extend(outcome.results)
+            results = outcome.results
+            if self.guard is not None:
+                # Edge starts are native-rate offsets inside the
+                # segment; rebase onto capture time for the guard's
+                # freshness window.
+                base = segment.start / self.sample_rate_hz
+                rates = {m.name: m.sample_rate for m in self.modems}
+                results = [
+                    r
+                    for r in results
+                    if self.guard.admit(r, base + r.start / rates[r.technology])
+                ]
+            report.edge_results.extend(results)
             ship = outcome.ship_to_cloud
         if not ship:
             return
@@ -246,7 +316,13 @@ class GalioTGateway:
         resilient = isinstance(self.backhaul, ResilientBackhaul)
         level = DegradationLadder.FULL
         if self.degradation is not None and resilient:
-            level = self.degradation.observe(self.backhaul.pressure(at_time))
+            pressure = self.backhaul.pressure(at_time)
+            if self.jamming is not None:
+                jam = self.jamming.pressure_at(at_time)
+                if jam > 0:
+                    self.telemetry.gauge("attack.jam_pressure", jam)
+                pressure = max(pressure, jam)
+            level = self.degradation.observe(pressure)
         stats = None
         if level >= DegradationLadder.METADATA:
             n_bits = self._METADATA_HEADER_BITS + self._METADATA_EVENT_BITS * max(
@@ -330,9 +406,13 @@ class GalioTGateway:
         """Run the full gateway pipeline over one capture."""
         report = GatewayReport()
         with self.telemetry.span("gateway"):
+            if self.jamming is not None:
+                self.jamming.reset()  # one capture = one stream
             samples, report.raw_bits = self.capture_front_end(capture, rng)
             self.telemetry.count("gateway.samples_in", len(samples))
-            report.events = self.detector.detect(samples)
+            report.events = [
+                e for e in self.detector.detect(samples) if self.admit_event(e)
+            ]
             report.segments = self.extractor.extract(samples, report.events)
             for segment in report.segments:
                 self.ship_segment(segment, report)
@@ -341,4 +421,7 @@ class GalioTGateway:
                     len(samples) / self.sample_rate_hz
                 )
                 self.account_deliveries(delivered, (), report)
+            if self.jamming is not None:
+                self.jamming.flush()
+                report.jamming_events = self.jamming.drain_events()
         return report

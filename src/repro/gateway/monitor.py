@@ -83,8 +83,11 @@ class OccupancyMonitor:
 
     def advance(self, seconds: float) -> None:
         """Account observed wall-clock time (for duty cycles)."""
-        if seconds < 0:
-            raise ConfigurationError("seconds must be >= 0")
+        # Checked as "not >= 0" rather than "< 0": NaN compares False to
+        # everything, so a NaN would sail through a `seconds < 0` guard
+        # and poison every duty cycle from then on.
+        if not (np.isfinite(seconds) and seconds >= 0):
+            raise ConfigurationError("seconds must be finite and >= 0")
         self._observed_s += seconds
 
     def duty_cycle(self, technology: str) -> float:

@@ -166,6 +166,8 @@ class StreamingGateway:
         front_end = self.gateway.front_end
         if front_end is not None and hasattr(front_end, "reset_stream"):
             front_end.reset_stream()
+        if self.gateway.jamming is not None:
+            self.gateway.jamming.reset()
         self._pos = 0  # absolute index of the next sample to arrive
         self._buffer = np.zeros(0, dtype=complex)
         self._buf_start = 0  # absolute index of _buffer[0]
@@ -224,11 +226,17 @@ class StreamingGateway:
             )
             self._pos += len(samples)
             for event in self._detect(chunk_start):
+                if not self.gateway.admit_event(event):
+                    continue
                 report.events.append(event)
                 self._feed_extractor(event)
             self._close_ready(report, final=False)
             self._flush_backhaul(report, final=False)
             self._trim_buffer()
+            if self.gateway.jamming is not None:
+                # capture_front_end already fed the samples; report the
+                # events this chunk closed.
+                report.jamming_events = self.gateway.jamming.drain_events()
         self.telemetry.count("stream.chunks")
         self.telemetry.count("stream.samples_in", len(chunk))
         self.telemetry.gauge("stream.buffered_samples", len(self._buffer))
@@ -253,10 +261,15 @@ class StreamingGateway:
             self._pending = []
             self._flushed_to = self._pos
             for event in emitted:
+                if not self.gateway.admit_event(event):
+                    continue
                 report.events.append(event)
                 self._feed_extractor(event)
             self._close_ready(report, final=True)
             self._flush_backhaul(report, final=True)
+            if self.gateway.jamming is not None:
+                self.gateway.jamming.flush()
+                report.jamming_events = self.gateway.jamming.drain_events()
         return report
 
     # -- detection --------------------------------------------------------

@@ -1,6 +1,18 @@
 """IoT network substrate: devices, traffic, scenes, MAC, energy, sim."""
 
+from .adversary import (
+    ATTACK_SCENARIOS,
+    AttackLedger,
+    AttackPlan,
+    AttackTruth,
+    JammerSpec,
+    ReplaySpec,
+    SpoofSpec,
+    build_attack_scenario,
+    render_attack_plan,
+)
 from .airtime import frame_airtime, frame_samples_at, goodput_bits
+from .attackdrill import AttackDrillReport, run_attack_drill
 from .device import Device, EnergyProfile
 from .energy import EnergyLedger
 from .mac import MacState, PendingFrame
@@ -21,6 +33,17 @@ from .traffic import (
 )
 
 __all__ = [
+    "ATTACK_SCENARIOS",
+    "AttackLedger",
+    "AttackPlan",
+    "AttackTruth",
+    "JammerSpec",
+    "ReplaySpec",
+    "SpoofSpec",
+    "build_attack_scenario",
+    "render_attack_plan",
+    "AttackDrillReport",
+    "run_attack_drill",
     "frame_airtime",
     "frame_samples_at",
     "goodput_bits",

@@ -1,0 +1,295 @@
+"""Scored adversarial drill: legit-traffic survival under attack.
+
+The attack counterpart of ``galiot chaos``: build one scene of honest
+traffic, run it twice through the end-to-end pipeline — once clean and
+unhardened (the baseline), once with a seeded
+:class:`~repro.net.adversary.AttackPlan` rendered into the capture and
+the hardened receive path enabled (jamming detector, decode guard,
+resilient backhaul + degradation ladder) — and score the attacked run on
+two axes:
+
+* **survival** — the fraction of baseline-decoded frames still accepted
+  under attack (gate: >= 95%, like the chaos drill);
+* **acceptance hygiene** — replayed frames accepted beyond the
+  legitimate original (``replay_accepts``) and accepted frames matching
+  no honest transmission at all (``false_decodes``).
+
+Everything is a pure function of ``(scenario, seed, scene parameters)``:
+two same-seed drills produce byte-identical ledgers
+(:meth:`AttackDrillReport.ledger`), which the CLI, the benchmark and the
+tests all rely on. Used by ``galiot attack`` and
+``benchmarks/bench_attack.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..guard import DecodeGuard, GuardStats
+from ..telemetry import Telemetry
+from .adversary import ATTACK_SCENARIOS, AttackLedger, build_attack_scenario, render_attack_plan
+
+__all__ = ["AttackDrillReport", "run_attack_drill"]
+
+
+@dataclass
+class AttackDrillReport:
+    """Outcome of one adversarial drill run.
+
+    Attributes:
+        scenario: Named attack scenario that was rendered.
+        seed: Effective root seed (scene, plan and calibration).
+        baseline_frames: Frames the clean, unhardened run decoded.
+        accepted_frames: Frames the hardened run accepted under attack.
+        survived: Baseline frames still accepted under attack.
+        replay_accepts: Accepted occurrences of a replayed frame beyond
+            its one legitimate decode. (If the original was lost to the
+            attack and only the replay got through, the replay passes as
+            the legitimate copy — payload matching cannot tell them
+            apart — so it counts toward survival, not here.)
+        false_decodes: Accepted frames matching no honest transmission.
+        jamming_events: Spectrum anomalies the gateway flagged.
+        detection_latency_s: Delay from the first jammer's on-air time
+            to the first overlapping jamming event (``None`` without
+            jammers, ``inf`` if jamming went undetected).
+        degraded_segments: Metadata-only ships under attack.
+        dropped_segments: Drop-policy evictions under attack.
+        guard: The shared decode guard's accept/reject counters.
+        telemetry: The attacked run's metrics sink (``attack.*`` live
+            here).
+    """
+
+    scenario: str
+    seed: int
+    baseline_frames: int
+    accepted_frames: int
+    survived: int
+    replay_accepts: int
+    false_decodes: int
+    jamming_events: int
+    detection_latency_s: float | None
+    degraded_segments: int
+    dropped_segments: int
+    guard: GuardStats
+    telemetry: Telemetry = field(repr=False, default_factory=Telemetry)
+    accepted: list[tuple[str, bytes]] = field(repr=False, default_factory=list)
+
+    @property
+    def survival(self) -> float:
+        """Survived fraction of the baseline (1.0 for an empty baseline)."""
+        if self.baseline_frames <= 0:
+            return 1.0
+        return self.survived / self.baseline_frames
+
+    @property
+    def false_decode_rate(self) -> float:
+        """False decodes over accepted frames (0.0 when nothing accepted)."""
+        if self.accepted_frames <= 0:
+            return 0.0
+        return self.false_decodes / self.accepted_frames
+
+    def passed(
+        self,
+        survival_floor: float = 0.95,
+        false_decode_ceiling: float = 0.01,
+        replay_ceiling: int = 0,
+    ) -> bool:
+        """The drill's gate: survival up, acceptance hygiene clean."""
+        return (
+            self.survival >= survival_floor
+            and self.false_decode_rate <= false_decode_ceiling
+            and self.replay_accepts <= replay_ceiling
+        )
+
+    def ledger(self) -> list[str]:
+        """Deterministic per-run ledger: two same-seed drills must
+        produce identical lines (the reproducibility acceptance check).
+        """
+        lines = [
+            f"scenario={self.scenario} seed={self.seed}",
+            f"survival={self.survived}/{self.baseline_frames}",
+            (
+                f"accepted={self.accepted_frames} "
+                f"replay_accepts={self.replay_accepts} "
+                f"false_decodes={self.false_decodes}"
+            ),
+            (
+                f"guard accepted={self.guard.accepted} "
+                f"replays={self.guard.replays_rejected} "
+                f"duplicates={self.guard.duplicates_rejected} "
+                f"corrupt={self.guard.corrupt_rejected}"
+            ),
+            f"jamming_events={self.jamming_events}",
+        ]
+        for tech, payload in sorted(self.accepted):
+            lines.append(f"frame {tech}:{payload.hex()}")
+        return lines
+
+
+def _detection_latency(
+    plan_jammers, jamming_events
+) -> float | None:
+    if not plan_jammers:
+        return None
+    first = min(plan_jammers, key=lambda j: j.start_s)
+    for event in sorted(jamming_events, key=lambda e: e.start_s):
+        if event.end_s > first.start_s and event.start_s < first.end_s:
+            return max(event.start_s - first.start_s, 0.0)
+    return float("inf")
+
+
+def run_attack_drill(
+    scenario: str,
+    seed: int = 0xC0FFEE,
+    duration_s: float = 2.0,
+    packets: int = 48,
+    snr_db: float = 12.0,
+    technologies: tuple[str, ...] = ("xbee", "zwave"),
+    rate_mbps: float = 20.0,
+    chunk: int = 262_144,
+    hardened: bool = True,
+) -> AttackDrillReport:
+    """Run one scored adversarial drill.
+
+    Args:
+        scenario: One of :data:`~repro.net.adversary.ATTACK_SCENARIOS`
+            (``"none"`` measures the hardening layer's clean-air
+            overhead: same scene, no attacker).
+        seed: Root seed for the scene, the attack plan and detector
+            calibration.
+        duration_s: Scene length in seconds.
+        packets: Honest packets placed (round-robin over
+            ``technologies``).
+        snr_db: Per-packet capture SNR.
+        technologies: Modem round-robin (compact-frame technologies;
+            LoRa's huge extraction windows merge everything into one
+            segment, collapsing the per-segment attack axes).
+        rate_mbps: Backhaul link rate for the hardened run.
+        chunk: Streaming chunk size in samples.
+        hardened: Disable to measure the unguarded pipeline under the
+            same attack (what the guards are actually worth).
+    """
+    from ..cloud import CloudService
+    from ..gateway import (
+        BackhaulLink,
+        DegradationLadder,
+        GalioTGateway,
+        ResilientBackhaul,
+        StreamingGateway,
+        iter_chunks,
+    )
+    from ..phy import create_modem
+    from ..sensing import JammingDetector
+    from .scene import SceneBuilder
+
+    if scenario not in ATTACK_SCENARIOS:
+        raise ValueError(
+            f"unknown scenario {scenario!r}; choose from {ATTACK_SCENARIOS}"
+        )
+    fs = 1e6
+    modems = [create_modem(name) for name in technologies]
+    plan = build_attack_scenario(
+        scenario,
+        seed=seed,
+        duration_s=duration_s,
+        technologies=tuple(technologies),
+        n_packets_hint=packets,
+    )
+
+    def build(attacked: bool):
+        rng = np.random.default_rng(seed)
+        builder = SceneBuilder(fs, duration_s)
+        n_samples = int(duration_s * fs)
+        for i in range(packets):
+            modem = modems[i % len(modems)]
+            start = int((i + 0.5) * n_samples / packets)
+            builder.add_packet(
+                modem, f"legit-{i}".encode(), start, snr_db, rng,
+                snr_mode="capture",
+            )
+        ledger = AttackLedger()
+        if attacked:
+            # The adversary draws only from plan-derived generators, so
+            # the legit packets and floor noise below stay bit-identical
+            # between the two builds.
+            ledger = render_attack_plan(builder, plan, modems)
+        capture, truth = builder.render(rng)
+        noise = (
+            rng.normal(size=200_000) + 1j * rng.normal(size=200_000)
+        ) * np.sqrt(truth.noise_power / 2)
+        return capture, truth, noise, ledger
+
+    def run(capture, noise, harden: bool):
+        # Each run *is* a composition root: the baseline and attacked
+        # pipelines need isolated registries so the report's attack.*
+        # counters reflect only the attacked run.
+        telemetry = Telemetry()  # noqa: GL005
+        guard = DecodeGuard() if harden else None
+        if harden:
+            backhaul = ResilientBackhaul(
+                BackhaulLink(rate_bps=rate_mbps * 1e6, max_queue_s=0.5)
+            )
+            ladder = DegradationLadder()
+            jamming = JammingDetector(fs)
+        else:
+            backhaul, ladder, jamming = None, None, None
+        gateway = GalioTGateway(
+            modems, fs, use_edge=False, backhaul=backhaul,
+            degradation=ladder, jamming=jamming, guard=guard,
+            telemetry=telemetry,
+        )
+        gateway.detector.calibrate(noise)
+        service = CloudService(
+            modems, fs, guard=guard,
+            sync_retries=2 if harden else 0,
+            telemetry=telemetry,
+        )
+        stream = StreamingGateway(gateway)
+        report = stream.process_stream(iter_chunks(capture, chunk))
+        results = [
+            r for s in report.shipped for r in service.process_segment(s)
+        ]
+        stats = guard if guard is not None else GuardStats()
+        if isinstance(stats, DecodeGuard):
+            stats = stats.stats
+        return report, results, stats, telemetry
+
+    base_capture, truth, noise, _ = build(attacked=False)
+    atk_capture, _, _, ledger = build(attacked=True)
+
+    _, base_results, _, _ = run(base_capture, noise, harden=False)
+    report, results, guard_stats, telemetry = run(
+        atk_capture, noise, harden=hardened
+    )
+
+    base_frames = [
+        (r.technology, r.payload) for r in base_results if r.ok
+    ]
+    accepted = [(r.technology, r.payload) for r in results if r.ok]
+    survived = sum(1 for f in base_frames if f in accepted)
+    truth_frames = {(p.technology, p.payload) for p in truth.packets}
+    false_decodes = sum(1 for f in accepted if f not in truth_frames)
+    replay_accepts = sum(
+        max(0, accepted.count(key) - 1)
+        for key in ledger.replayed_payloads()
+    )
+    return AttackDrillReport(
+        scenario=scenario,
+        seed=seed,
+        baseline_frames=len(base_frames),
+        accepted_frames=len(accepted),
+        survived=survived,
+        replay_accepts=replay_accepts,
+        false_decodes=false_decodes,
+        jamming_events=len(report.jamming_events),
+        detection_latency_s=_detection_latency(
+            plan.jammers, report.jamming_events
+        ),
+        degraded_segments=report.degraded_segments,
+        dropped_segments=report.dropped_segments,
+        guard=guard_stats,
+        telemetry=telemetry,
+        accepted=accepted,
+    )

@@ -137,6 +137,23 @@ class SceneBuilder:
         self._packets.append(truth)
         return truth
 
+    @property
+    def packets(self) -> tuple[PacketTruth, ...]:
+        """The legitimate packets placed so far (a replay attacker's menu)."""
+        return tuple(self._packets)
+
+    def add_interference(self, wave: np.ndarray, start: int) -> None:
+        """Add a raw waveform into the capture without a truth record.
+
+        This is the adversary's entry point
+        (:mod:`repro.net.adversary`): jammer bursts, replayed frames and
+        spoofed preambles are *not* legitimate packets, so they must not
+        appear in :class:`~repro.types.SceneTruth` — detectors and
+        decoders are scored against honest traffic only. The waveform is
+        pre-scaled by the caller and clipped to the capture bounds.
+        """
+        add_at(self._stream, start, np.asarray(wave, dtype=complex))
+
     def render(self, rng: np.random.Generator) -> tuple[np.ndarray, SceneTruth]:
         """Add the AWGN floor and return ``(capture, truth)``."""
         capture = self._stream.copy()

@@ -1,11 +1,14 @@
 """Multi-technology wireless sensing (paper Sec. 6, future work)."""
 
 from .features import ChannelSnapshot, snapshot_from_frame
+from .jamming import JammingDetector, JammingEvent
 from .occupancy import OccupancyDetector, OccupancyEvent
 
 __all__ = [
     "ChannelSnapshot",
     "snapshot_from_frame",
+    "JammingDetector",
+    "JammingEvent",
     "OccupancyDetector",
     "OccupancyEvent",
 ]

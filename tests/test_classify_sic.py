@@ -190,6 +190,30 @@ class TestTryDecode:
             try_decode(modem, noise, FS, telemetry=telemetry)
         assert "cloud.decode_errors" not in telemetry.counters
 
+    def test_sync_retries_unshadow_a_spoofed_preamble(self, trio, rng):
+        # A louder valid preamble with a garbage body wins the sync
+        # search; without retries the real frame behind it is invisible.
+        zwave = next(m for m in trio if m.name == "zwave")
+        legit = zwave.modulate(b"the-real-one")
+        pre = zwave.sync_reference()
+        body = len(legit) - len(pre)
+        garbage = (rng.normal(size=body) + 1j * rng.normal(size=body)) / np.sqrt(2)
+        rms = float(np.sqrt(np.mean(np.abs(legit[len(pre):]) ** 2)))
+        spoof = np.concatenate([pre, garbage * rms]) * 2.0
+        gap = np.zeros(4000, dtype=complex)
+        capture = np.concatenate([spoof, gap, legit])
+        capture = capture + (
+            rng.normal(size=len(capture)) + 1j * rng.normal(size=len(capture))
+        ) * 0.01
+        telemetry = Telemetry()
+        assert try_decode(zwave, capture, zwave.sample_rate) is None
+        frame = try_decode(
+            zwave, capture, zwave.sample_rate,
+            telemetry=telemetry, sync_retries=2,
+        )
+        assert frame is not None and frame.payload == b"the-real-one"
+        assert telemetry.counters["cloud.sync_retries"] >= 1
+
 
 class TestReconstruction:
     def test_deep_cancellation_without_cfo(self, trio, rng):

@@ -1,0 +1,88 @@
+"""Tests for replay/duplicate/false-decode guarding (repro.guard)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.guard import DecodeGuard
+from repro.telemetry import Telemetry
+from repro.types import DecodeResult
+
+
+def _frame(payload=b"hello", tech="xbee", ok=True, start=0):
+    return DecodeResult(technology=tech, payload=payload, ok=ok, start=start)
+
+
+class TestDecodeGuard:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DecodeGuard(window_s=0.0)
+        with pytest.raises(ConfigurationError):
+            DecodeGuard(window_s=1.0, duplicate_window_s=2.0)
+        with pytest.raises(ConfigurationError):
+            DecodeGuard(duplicate_window_s=-0.1)
+
+    def test_fresh_frames_are_accepted(self):
+        guard = DecodeGuard()
+        assert guard.admit(_frame(), 0.0)
+        assert guard.admit(_frame(payload=b"other"), 0.01)
+        assert guard.stats.accepted == 2
+        assert guard.stats.rejected == 0
+
+    def test_corrupt_frame_is_a_false_decode(self):
+        telemetry = Telemetry()
+        guard = DecodeGuard(telemetry=telemetry)
+        assert not guard.admit(_frame(ok=False), 0.0)
+        assert not guard.admit(_frame(payload=None), 0.0)
+        assert guard.stats.corrupt_rejected == 2
+        assert telemetry.counters["attack.false_decodes"] == 2
+
+    def test_duplicate_vs_replay_windows(self):
+        telemetry = Telemetry()
+        guard = DecodeGuard(
+            window_s=5.0, duplicate_window_s=0.05, telemetry=telemetry
+        )
+        assert guard.admit(_frame(), 10.0)
+        # Inside the duplicate window: a double-decode, not an attack.
+        assert not guard.admit(_frame(), 10.01)
+        # Past the duplicate window but inside freshness: a replay.
+        assert not guard.admit(_frame(), 11.0)
+        # Past the freshness window: legitimately retransmitted.
+        assert guard.admit(_frame(), 16.0)
+        assert guard.stats.duplicates_rejected == 1
+        assert guard.stats.replays_rejected == 1
+        assert telemetry.counters["attack.duplicate_decodes"] == 1
+        assert telemetry.counters["attack.replay_rejects"] == 1
+
+    def test_same_payload_different_technology_is_independent(self):
+        guard = DecodeGuard()
+        assert guard.admit(_frame(tech="xbee"), 0.0)
+        assert guard.admit(_frame(tech="zwave"), 0.0)
+
+    def test_only_accepted_frames_arm_the_window(self):
+        # A rejected replay must not extend the freshness window: the
+        # attacker could otherwise keep a frame embargoed forever by
+        # replaying it just inside the window.
+        guard = DecodeGuard(window_s=5.0, duplicate_window_s=0.01)
+        assert guard.admit(_frame(), 0.0)
+        assert not guard.admit(_frame(), 4.0)  # replayed, rejected
+        assert guard.admit(_frame(), 6.0)  # 6 s after the *accepted* one
+
+    def test_filter_batch_uses_capture_time(self):
+        guard = DecodeGuard(window_s=5.0, duplicate_window_s=0.05)
+        fs = 1e6
+        results = [
+            _frame(start=0),
+            _frame(start=int(1.0 * fs)),  # replay 1 s later
+            _frame(payload=b"other", start=int(1.5 * fs)),
+        ]
+        kept = guard.filter(results, fs)
+        assert [r.payload for r in kept] == [b"hello", b"other"]
+        with pytest.raises(ConfigurationError):
+            guard.filter(results, 0.0)
+
+    def test_reset(self):
+        guard = DecodeGuard()
+        guard.admit(_frame(), 0.0)
+        guard.reset()
+        assert guard.stats.accepted == 0
+        assert guard.admit(_frame(), 0.01)

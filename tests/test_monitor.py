@@ -73,6 +73,26 @@ class TestMonitor:
         with pytest.raises(ConfigurationError):
             monitor.advance(-1.0)
 
+    def test_advance_rejects_non_finite(self):
+        # NaN compares False to everything, so a plain `seconds < 0`
+        # guard would admit it and poison every later duty cycle.
+        monitor = OccupancyMonitor({"lora": 0.1})
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ConfigurationError):
+                monitor.advance(bad)
+        monitor.observe([_result("lora")], at_time=0.0)
+        monitor.advance(1.0)
+        assert monitor.duty_cycle("lora") == pytest.approx(0.1)
+
+    def test_duty_cycle_pinned_at_zero_window(self):
+        # Frames observed but no time advanced yet: the duty cycle must
+        # pin to zero, not divide by zero.
+        monitor = OccupancyMonitor({"lora": 0.1})
+        monitor.observe([_result("lora")], at_time=0.0)
+        assert monitor.duty_cycle("lora") == 0.0
+        monitor.advance(0.0)
+        assert monitor.duty_cycle("lora") == 0.0
+
     def test_duty_cycle_capped_at_one(self):
         monitor = OccupancyMonitor({"lora": 10.0})
         monitor.observe([_result("lora")], at_time=0.0)

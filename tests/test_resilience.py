@@ -220,6 +220,72 @@ class TestDegradationLadder:
             DegradationLadder(escalate_after=0)
 
 
+class TestAttackScaleSaturation:
+    """Jammer-driven backpressure differs from a link outage: a
+    sustained flood of low-score garbage segments competes with sparse
+    high-score legitimate ones, and the pressure signal pulses with the
+    jammer's duty cycle instead of dropping cleanly to zero."""
+
+    def test_sustained_flood_evicts_lowest_scores_first(self):
+        # 4x over capacity: 10 legit segments (score >= 0.8) in a flood
+        # of 30 jam-burst detections (score <= 0.2). Capacity holds
+        # exactly the legit set, so lowest-score-first eviction must
+        # sacrifice every jam segment and keep every legit one.
+        plan = FaultPlan(outages=(OutageWindow(0.0, 10.0),))
+        wrapper = _wrapper(faults=plan, max_spill_bits=40_000)
+        rng = np.random.default_rng(7)
+        legit, evicted = [], []
+        t = 0.0
+        for i in range(40):
+            t += 0.01
+            if i % 4 == 0:
+                score, payload = 0.8 + 0.001 * i, f"legit-{i // 4}"
+                legit.append(payload)
+            else:
+                score, payload = float(rng.uniform(0.01, 0.2)), f"jam-{i}"
+            outcome = wrapper.ship(4000, at_time=t, score=score, payload=payload)
+            evicted.extend(outcome.evicted)
+        kept = {e.payload for e in wrapper.spill}
+        assert kept == set(legit)
+        assert wrapper.spill_bits <= 40_000
+        assert max(e.score for e in evicted) <= min(
+            e.score for e in wrapper.spill
+        )
+
+    def test_ladder_holds_degraded_through_pulse_jam_duty_cycle(self):
+        # A 75%-duty pulse jammer: three saturated readings, one quiet
+        # gap, repeating. The recovery hysteresis (recover_after > gap
+        # length) must keep the ladder degraded across the off-gaps —
+        # flapping back to FULL mid-attack would re-flood the backhaul
+        # every period.
+        telemetry = Telemetry()
+        ladder = DegradationLadder(
+            escalate_after=3, recover_after=6, telemetry=telemetry
+        )
+        levels = []
+        for _ in range(5):
+            levels.append(ladder.observe(0.05))  # jammer off-gap
+            for _ in range(3):
+                levels.append(ladder.observe(0.9))  # saturated burst
+        assert ladder.level == DegradationLadder.METADATA
+        first_degraded = next(
+            i for i, lvl in enumerate(levels) if lvl != DegradationLadder.FULL
+        )
+        assert DegradationLadder.FULL not in levels[first_degraded:]
+
+        # Attack ends: recovery climbs one rung per recover_after
+        # consecutive quiet readings, never faster.
+        for _ in range(5):
+            ladder.observe(0.05)
+        assert ladder.level == DegradationLadder.METADATA
+        assert ladder.observe(0.05) == DegradationLadder.COMPRESSED
+        for _ in range(5):
+            ladder.observe(0.05)
+        assert ladder.level == DegradationLadder.COMPRESSED
+        assert ladder.observe(0.05) == DegradationLadder.FULL
+        assert telemetry.counters["gateway.degradation_recoveries"] == 2
+
+
 def _noise_segment(start: int, n: int, rng, score: float = 1.0) -> Segment:
     samples = (rng.normal(size=n) + 1j * rng.normal(size=n)) / 2
     return Segment(
